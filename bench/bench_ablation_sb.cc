@@ -1,0 +1,78 @@
+// Ablation bench (ours, beyond the paper's figures): isolates each SB
+// design choice called out in DESIGN.md — the Omega queue cap, biased
+// vs round-robin probing, resumable searches, and multi-pair loops.
+#include "bench_common.h"
+#include "fairmatch/assign/sb.h"
+#include "fairmatch/rtree/node_store.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+namespace {
+
+RunRow RunSBWith(const AssignmentProblem& problem, const BenchConfig& config,
+                 const SBOptions& options, const char* name) {
+  PagedNodeStore store(problem.dims, 4096);
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+  store.ResetCounters();
+  store.SetBufferFraction(config.buffer_fraction);
+  SBAssignment sb(&problem, &tree, options);
+  AssignResult result = sb.Run();
+  RunRow row;
+  row.algo = name;
+  row.io = store.counters().io_accesses();
+  row.cpu_ms = result.stats.cpu_ms;
+  row.mem_mb = result.stats.peak_memory_mb();
+  row.pairs = result.matching.size();
+  row.loops = result.stats.loops;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  BenchConfig config;
+  config = Scale(config);
+  AssignmentProblem problem = BuildProblem(config);
+
+  PrintHeader("Ablation A: Omega (resume-queue capacity, % of |F|)",
+              "anti-correlated defaults; x = omega");
+  for (double omega : {0.005, 0.01, 0.025, 0.05, 0.10}) {
+    SBOptions options;
+    options.ta.omega = omega;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f%%", omega * 100);
+    PrintRow(label, RunSBWith(problem, config, options, "SB"));
+  }
+
+  PrintHeader("Ablation B: TA probing and resume strategy",
+              "anti-correlated defaults; x = strategy");
+  {
+    SBOptions options;
+    PrintRow("biased", RunSBWith(problem, config, options, "SB"));
+  }
+  {
+    SBOptions options;
+    options.ta.biased_probing = false;
+    PrintRow("round-robin", RunSBWith(problem, config, options, "SB"));
+  }
+  {
+    SBOptions options;
+    options.ta.resume = false;
+    PrintRow("no-resume", RunSBWith(problem, config, options, "SB"));
+  }
+
+  PrintHeader("Ablation C: multiple pairs per loop (Section 5.3)",
+              "anti-correlated defaults; x = mode");
+  {
+    SBOptions options;
+    PrintRow("multi-pair", RunSBWith(problem, config, options, "SB"));
+  }
+  {
+    SBOptions options;
+    options.multi_pair = false;
+    PrintRow("single-pair", RunSBWith(problem, config, options, "SB"));
+  }
+  return 0;
+}

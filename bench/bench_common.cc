@@ -1,0 +1,215 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "fairmatch/assign/brute_force.h"
+#include "fairmatch/assign/chain.h"
+#include "fairmatch/assign/sb.h"
+#include "fairmatch/assign/sb_alt.h"
+#include "fairmatch/assign/two_skyline.h"
+#include "fairmatch/common/rng.h"
+#include "fairmatch/rtree/node_store.h"
+#include "fairmatch/topk/disk_function_lists.h"
+
+namespace fairmatch::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("FAIRMATCH_SCALE");
+  if (env == nullptr || std::strcmp(env, "quick") == 0) return 0.25;
+  if (std::strcmp(env, "paper") == 0) return 1.0;
+  if (std::strcmp(env, "smoke") == 0) return 0.02;
+  return 0.25;
+}
+
+const char* ScaleName() {
+  const char* env = std::getenv("FAIRMATCH_SCALE");
+  if (env == nullptr) return "quick";
+  return env;
+}
+
+int Scaled(int paper_value, int floor) {
+  int v = static_cast<int>(paper_value * ScaleFactor());
+  return v < floor ? floor : v;
+}
+
+BenchConfig Scale(BenchConfig config) {
+  config.num_functions = Scaled(config.num_functions, 10);
+  config.num_objects = Scaled(config.num_objects, 100);
+  return config;
+}
+
+AssignmentProblem BuildProblem(const BenchConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Point> points;
+  if (config.points_override != nullptr) {
+    points.assign(config.points_override->begin(),
+                  config.points_override->begin() + config.num_objects);
+  } else {
+    points = GeneratePoints(config.distribution, config.num_objects,
+                            config.dims, &rng);
+  }
+  FunctionSet fns =
+      config.weight_clusters > 0
+          ? GenerateClusteredFunctions(config.num_functions, config.dims,
+                                       config.weight_clusters, 0.05, &rng)
+          : GenerateFunctions(config.num_functions, config.dims, &rng);
+  if (config.max_gamma > 1) AssignPriorities(&fns, config.max_gamma, &rng);
+  if (config.function_capacity != 1) {
+    SetFunctionCapacities(&fns, config.function_capacity);
+  }
+  return MakeProblem(std::move(points), std::move(fns),
+                     config.object_capacity);
+}
+
+const char* AlgoName(Algo algo) {
+  switch (algo) {
+    case Algo::kSB:
+      return "SB";
+    case Algo::kSBUpdateSkyline:
+      return "SB-UpdateSkyline";
+    case Algo::kSBDeltaSky:
+      return "SB-DeltaSky";
+    case Algo::kSBTwoSkylines:
+      return "SB-TwoSkylines";
+    case Algo::kBruteForce:
+      return "BruteForce";
+    case Algo::kChain:
+      return "Chain";
+    case Algo::kSBDiskF:
+      return "SB";
+    case Algo::kSBAlt:
+      return "SB-alt";
+    case Algo::kBruteForceDiskF:
+      return "BruteForce";
+    case Algo::kChainDiskF:
+      return "Chain";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsDiskF(Algo algo) {
+  return algo == Algo::kSBDiskF || algo == Algo::kSBAlt ||
+         algo == Algo::kBruteForceDiskF || algo == Algo::kChainDiskF;
+}
+
+RunRow Finish(Algo algo, const AssignResult& result, int64_t io) {
+  RunRow row;
+  row.algo = AlgoName(algo);
+  row.io = io;
+  row.cpu_ms = result.stats.cpu_ms;
+  row.mem_mb = result.stats.peak_memory_mb();
+  row.pairs = result.matching.size();
+  row.loops = result.stats.loops;
+  return row;
+}
+
+}  // namespace
+
+RunRow Run(Algo algo, const AssignmentProblem& problem,
+           const BenchConfig& config) {
+  if (IsDiskF(algo)) {
+    // Section 7.6 setting: O fits in memory, F lives on disk.
+    MemNodeStore store(problem.dims);
+    RTree tree(&store);
+    BuildObjectTree(problem, &tree);
+    DiskFunctionStore fstore(problem.functions, config.buffer_fraction);
+    AssignResult result;
+    switch (algo) {
+      case Algo::kSBDiskF: {
+        SBAssignment sb(&problem, &tree, SBOptions{}, &fstore);
+        result = sb.Run();
+        break;
+      }
+      case Algo::kSBAlt:
+        result = SBAltAssignment(problem, tree, &fstore);
+        break;
+      case Algo::kBruteForceDiskF: {
+        BruteForceOptions options;
+        options.disk_functions = &fstore;
+        result = BruteForceAssignment(problem, tree, options);
+        break;
+      }
+      case Algo::kChainDiskF: {
+        ChainOptions options;
+        options.disk_functions = &fstore;
+        options.function_tree_buffer = config.buffer_fraction;
+        result = ChainAssignment(problem, &tree, options);
+        break;
+      }
+      default:
+        break;
+    }
+    // Coefficient-store traffic plus any algorithm-private disk I/O
+    // (Chain's disk-resident function R-tree).
+    return Finish(algo, result,
+                  fstore.counters().io_accesses() +
+                      result.stats.io_accesses);
+  }
+
+  // Standard setting: O on the simulated disk behind the LRU buffer.
+  PagedNodeStore store(problem.dims, /*buffer_frames=*/4096);
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+  store.ResetCounters();
+  store.SetBufferFraction(config.buffer_fraction);
+
+  AssignResult result;
+  switch (algo) {
+    case Algo::kSB: {
+      SBAssignment sb(&problem, &tree, SBOptions{});
+      result = sb.Run();
+      break;
+    }
+    case Algo::kSBUpdateSkyline: {
+      SBOptions options;
+      options.best_pair_mode = BestPairMode::kExhaustive;
+      options.multi_pair = false;
+      SBAssignment sb(&problem, &tree, options);
+      result = sb.Run();
+      break;
+    }
+    case Algo::kSBDeltaSky: {
+      SBOptions options;
+      options.skyline_mode = SkylineMode::kDeltaSky;
+      options.best_pair_mode = BestPairMode::kExhaustive;
+      options.multi_pair = false;
+      SBAssignment sb(&problem, &tree, options);
+      result = sb.Run();
+      break;
+    }
+    case Algo::kSBTwoSkylines:
+      result = TwoSkylineAssignment(problem, tree);
+      break;
+    case Algo::kBruteForce:
+      result = BruteForceAssignment(problem, tree);
+      break;
+    case Algo::kChain:
+      result = ChainAssignment(problem, &tree);
+      break;
+    default:
+      break;
+  }
+  return Finish(algo, result, store.counters().io_accesses());
+}
+
+void PrintHeader(const std::string& figure, const std::string& subtitle) {
+  std::printf("# %s\n", figure.c_str());
+  std::printf("# %s  [scale=%s]\n", subtitle.c_str(), ScaleName());
+  std::printf("# %-10s %-18s %12s %12s %10s %8s %8s\n", "x", "algo",
+              "io_accesses", "cpu_ms", "mem_mb", "pairs", "loops");
+  std::fflush(stdout);
+}
+
+void PrintRow(const std::string& x, const RunRow& row) {
+  std::printf("%-12s %-18s %12lld %12.1f %10.2f %8zu %8lld\n", x.c_str(),
+              row.algo.c_str(), static_cast<long long>(row.io), row.cpu_ms,
+              row.mem_mb, row.pairs, static_cast<long long>(row.loops));
+  std::fflush(stdout);
+}
+
+}  // namespace fairmatch::bench

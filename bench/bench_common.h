@@ -1,0 +1,93 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every bench prints rows of the form
+//   <x> <algorithm> <io_accesses> <cpu_ms> <mem_mb> <pairs> <loops>
+// matching the series the paper's figures plot (I/O cost, CPU time,
+// memory usage). Scale is controlled by FAIRMATCH_SCALE:
+//   paper  — Table 2 parameter values
+//   quick  — cardinalities divided by 4 (default; same shapes)
+//   smoke  — tiny sizes for CI smoke runs
+#ifndef FAIRMATCH_BENCH_BENCH_COMMON_H_
+#define FAIRMATCH_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/data/synthetic.h"
+
+namespace fairmatch::bench {
+
+/// Scale multiplier from FAIRMATCH_SCALE (paper=1, quick=0.25,
+/// smoke=0.02).
+double ScaleFactor();
+const char* ScaleName();
+
+/// value * ScaleFactor(), at least `floor`.
+int Scaled(int paper_value, int floor = 1);
+
+/// One experiment configuration (Table 2 defaults).
+struct BenchConfig {
+  int num_functions = 5000;
+  int num_objects = 100000;
+  int dims = 4;
+  Distribution distribution = Distribution::kAntiCorrelated;
+  double buffer_fraction = 0.02;
+  int function_capacity = 1;
+  int object_capacity = 1;
+  int max_gamma = 1;
+  int weight_clusters = 0;  // 0 = independent weights (Figure 12 sets >0)
+  uint64_t seed = 20090824;
+
+  /// Pre-generated object points override the synthetic generator
+  /// (used by the real-data benches).
+  const std::vector<Point>* points_override = nullptr;
+};
+
+/// Applies ScaleFactor() to the cardinalities.
+BenchConfig Scale(BenchConfig config);
+
+/// Generates the problem instance for a configuration.
+AssignmentProblem BuildProblem(const BenchConfig& config);
+
+/// Algorithms runnable by the harness.
+enum class Algo {
+  kSB,                // fully optimized SB
+  kSBUpdateSkyline,   // Algorithm 1 + UpdateSkyline, no 5.1/5.3 opts
+  kSBDeltaSky,        // Algorithm 1 + DeltaSky, no 5.1/5.3 opts
+  kSBTwoSkylines,     // Section 6.2 variant
+  kBruteForce,
+  kChain,
+  // Disk-resident-F setting (Figure 17): objects in memory, function
+  // lists on the simulated disk.
+  kSBDiskF,
+  kSBAlt,
+  kBruteForceDiskF,
+  kChainDiskF,
+};
+
+const char* AlgoName(Algo algo);
+
+/// One result row.
+struct RunRow {
+  std::string algo;
+  int64_t io = 0;
+  double cpu_ms = 0.0;
+  double mem_mb = 0.0;
+  size_t pairs = 0;
+  int64_t loops = 0;
+};
+
+/// Runs `algo` on a fresh R-tree built from `problem`. The object tree
+/// is disk-paged for the standard algorithms and memory-resident for
+/// the disk-F ones, per the paper's Section 7 / 7.6 settings.
+RunRow Run(Algo algo, const AssignmentProblem& problem,
+           const BenchConfig& config);
+
+/// Output helpers.
+void PrintHeader(const std::string& figure, const std::string& subtitle);
+void PrintRow(const std::string& x, const RunRow& row);
+
+}  // namespace fairmatch::bench
+
+#endif  // FAIRMATCH_BENCH_BENCH_COMMON_H_

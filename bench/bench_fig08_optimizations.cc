@@ -1,0 +1,24 @@
+// Figure 8: effectiveness of the Section 5 optimizations.
+// Anti-correlated objects, |F| = 1000, D in {3, 4, 5}:
+// SB vs SB-UpdateSkyline (no 5.1/5.3) vs SB-DeltaSky.
+#include "bench_common.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  PrintHeader("Figure 8: effect of the optimization techniques",
+              "anti-correlated, |F|=1000, |O|=100k, x = dimensionality D");
+  for (int dims : {3, 4, 5}) {
+    BenchConfig config;
+    config.num_functions = 1000;
+    config.dims = dims;
+    config = Scale(config);
+    AssignmentProblem problem = BuildProblem(config);
+    for (Algo algo :
+         {Algo::kSB, Algo::kSBUpdateSkyline, Algo::kSBDeltaSky}) {
+      PrintRow(std::to_string(dims), Run(algo, problem, config));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 9: effect of dimensionality D on all three synthetic
+// distributions — I/O (a-c), CPU (d-f) and memory (g-i) are all columns
+// of the printed rows.
+#include "bench_common.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kCorrelated,
+        Distribution::kAntiCorrelated}) {
+    PrintHeader(std::string("Figure 9: effect of dimensionality (") +
+                    DistributionName(dist) + ")",
+                "|F|=5k, |O|=100k, x = dimensionality D");
+    for (int dims : {3, 4, 5, 6}) {
+      BenchConfig config;
+      config.dims = dims;
+      config.distribution = dist;
+      config = Scale(config);
+      AssignmentProblem problem = BuildProblem(config);
+      for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+        PrintRow(std::to_string(dims), Run(algo, problem, config));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 10: effect of the function cardinality |F| (anti-correlated).
+#include "bench_common.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  PrintHeader("Figure 10: effect of function cardinality |F|",
+              "anti-correlated, |O|=100k, D=4, x = |F| (paper-scale)");
+  for (int nf : {1000, 2500, 5000, 10000, 20000}) {
+    BenchConfig config;
+    config.num_functions = nf;
+    config = Scale(config);
+    AssignmentProblem problem = BuildProblem(config);
+    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+      PrintRow(std::to_string(nf), Run(algo, problem, config));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Figure 11: effect of the object cardinality |O| (anti-correlated).
+#include "bench_common.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  PrintHeader("Figure 11: effect of object cardinality |O|",
+              "anti-correlated, |F|=5k, D=4, x = |O| (paper-scale)");
+  for (int no : {10000, 50000, 100000, 200000, 400000}) {
+    BenchConfig config;
+    config.num_objects = no;
+    config = Scale(config);
+    AssignmentProblem problem = BuildProblem(config);
+    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+      PrintRow(std::to_string(no), Run(algo, problem, config));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 12: effect of the preference weight distribution — functions
+// drawn from C Gaussian clusters (stddev 0.05) on the weight simplex.
+#include "bench_common.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  PrintHeader("Figure 12: effect of the function distribution",
+              "anti-correlated, |F|=5k, |O|=100k, D=4, x = clusters C");
+  for (int clusters : {1, 3, 5, 7, 9}) {
+    BenchConfig config;
+    config.weight_clusters = clusters;
+    config = Scale(config);
+    AssignmentProblem problem = BuildProblem(config);
+    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+      PrintRow(std::to_string(clusters), Run(algo, problem, config));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 15: prioritized functions (gamma uniform in [1, max]) —
+// standard SB (whose TA threshold gets loose) vs the two-skyline
+// variant of Section 6.2.
+#include "bench_common.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  PrintHeader("Figure 15: effect of function priorities",
+              "anti-correlated, |F|=5k, |O|=100k, D=4, x = max gamma");
+  for (int gamma : {2, 4, 8, 16}) {
+    BenchConfig config;
+    config.max_gamma = gamma;
+    config = Scale(config);
+    AssignmentProblem problem = BuildProblem(config);
+    for (Algo algo : {Algo::kSB, Algo::kSBTwoSkylines, Algo::kBruteForce,
+                      Algo::kChain}) {
+      PrintRow(std::to_string(gamma), Run(algo, problem, config));
+    }
+  }
+  return 0;
+}

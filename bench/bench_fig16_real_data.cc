@@ -1,0 +1,46 @@
+// Figure 16: real-data experiments. (a,b) Zillow-like objects with
+// varying |O|; (c,d) NBA-like objects with capacitated functions.
+// See DESIGN.md "Substitutions" for the dataset stand-ins.
+#include "bench_common.h"
+#include "fairmatch/data/real_sim.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  PrintHeader("Figure 16(a,b): Zillow, effect of |O|",
+              "Zillow-like 5-attr objects, |F|=5k, x = |O| (paper-scale)");
+  {
+    auto all_points = ZillowSim(Scaled(400000, 2000), 424242);
+    for (int no : {10000, 50000, 100000, 200000, 400000}) {
+      BenchConfig config;
+      config.dims = 5;
+      config.num_objects = no;
+      config = Scale(config);
+      config.points_override = &all_points;
+      AssignmentProblem problem = BuildProblem(config);
+      for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+        PrintRow(std::to_string(no), Run(algo, problem, config));
+      }
+    }
+  }
+
+  PrintHeader("Figure 16(c,d): NBA, capacitated functions",
+              "NBA-like 5-attr objects (12278), |F|=1000, x = capacity k");
+  {
+    auto nba = NbaSim(kNbaSize, 616161);
+    for (int k : {1, 5, 9, 12}) {
+      BenchConfig config;
+      config.dims = 5;
+      config.num_objects = static_cast<int>(nba.size());
+      config.num_functions = Scaled(1000, 10);
+      config.function_capacity = k;
+      config.points_override = &nba;
+      AssignmentProblem problem = BuildProblem(config);
+      for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+        PrintRow(std::to_string(k), Run(algo, problem, config));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 17: disk-resident functions (Section 7.6). The cardinalities
+// of F and O are swapped relative to the defaults: |F|=100k on the
+// simulated disk (sorted coefficient lists), |O|=5k in a main-memory
+// R-tree. SB-alt's batch best-pair search saves the I/O.
+#include "bench_common.h"
+
+using namespace fairmatch;
+using namespace fairmatch::bench;
+
+int main() {
+  for (Distribution dist :
+       {Distribution::kIndependent, Distribution::kAntiCorrelated}) {
+    PrintHeader(std::string("Figure 17: disk-resident F (") +
+                    DistributionName(dist) + ")",
+                "|F|=100k on disk, |O|=5k in memory, x = dimensionality D");
+    for (int dims : {3, 4, 5, 6}) {
+      BenchConfig config;
+      config.num_functions = 100000;
+      config.num_objects = 5000;
+      config.dims = dims;
+      config.distribution = dist;
+      config = Scale(config);
+      AssignmentProblem problem = BuildProblem(config);
+      for (Algo algo : {Algo::kSBDiskF, Algo::kSBAlt,
+                        Algo::kBruteForceDiskF, Algo::kChainDiskF}) {
+        PrintRow(std::to_string(dims), Run(algo, problem, config));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Public-housing allocation with applicant priorities (Section 6.2).
+//
+// A housing authority releases apartments; applicants rate size,
+// location quality, floor preference and price attractiveness, and hold
+// integer priority classes (e.g. years on the waiting list). The
+// two-skyline SB variant computes the prioritized stable assignment.
+//
+// Build & run:   ./build/examples/example_housing_allocation
+#include <cstdio>
+#include <map>
+
+#include "fairmatch/assign/two_skyline.h"
+#include "fairmatch/assign/verifier.h"
+#include "fairmatch/common/rng.h"
+#include "fairmatch/data/synthetic.h"
+#include "fairmatch/rtree/node_store.h"
+
+using namespace fairmatch;
+
+int main() {
+  constexpr int kApplicants = 2000;
+  constexpr int kApartments = 2500;
+  constexpr int kDims = 4;
+  constexpr int kMaxPriority = 4;  // waiting-list years, capped
+  Rng rng(1979);  // Hylland & Zeckhauser
+
+  auto points =
+      GeneratePoints(Distribution::kIndependent, kApartments, kDims, &rng);
+  FunctionSet fns = GenerateFunctions(kApplicants, kDims, &rng);
+  AssignPriorities(&fns, kMaxPriority, &rng);
+  AssignmentProblem problem = MakeProblem(points, fns);
+
+  MemNodeStore store(kDims);
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+
+  AssignResult result = TwoSkylineAssignment(problem, tree);
+
+  std::printf("applicants=%d apartments=%d assigned=%zu (cpu=%.1f ms, "
+              "loops=%lld)\n",
+              kApplicants, kApartments, result.matching.size(),
+              result.stats.cpu_ms,
+              static_cast<long long>(result.stats.loops));
+
+  // Average achieved quality by priority class: higher classes must do
+  // at least as well on their own preferences.
+  std::map<int, std::pair<double, int>> by_priority;  // gamma -> (sum, n)
+  for (const MatchPair& pair : result.matching) {
+    const PrefFunction& f = problem.functions[pair.fid];
+    // Normalize out gamma so classes are comparable.
+    double quality = pair.score / f.gamma;
+    auto& [sum, n] = by_priority[static_cast<int>(f.gamma)];
+    sum += quality;
+    n++;
+  }
+  std::printf("mean achieved preference score by priority class:\n");
+  for (const auto& [gamma, agg] : by_priority) {
+    std::printf("  priority %d: %.4f  (n=%d)\n", gamma,
+                agg.first / agg.second, agg.second);
+  }
+
+  auto verdict = VerifyStableMatching(problem, result.matching);
+  std::printf("stability: %s\n", verdict.ok ? "OK" : verdict.message.c_str());
+  return verdict.ok ? 0 : 1;
+}

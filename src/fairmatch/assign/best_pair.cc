@@ -1,0 +1,73 @@
+#include "fairmatch/assign/best_pair.h"
+
+#include <unordered_set>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+std::vector<MatchPair> BestPairEngine::FindMutualPairs(
+    const std::vector<MemberCandidate>& members,
+    const std::vector<ObjectId>& added) {
+  // Functions named as some member's best this loop (F_best).
+  std::unordered_set<FunctionId> fbest_set;
+  for (const MemberCandidate& m : members) {
+    FAIRMATCH_DCHECK(m.fbest != kInvalidFunction);
+    fbest_set.insert(m.fbest);
+  }
+
+  // Refresh f.obest for every f in F_best.
+  std::unordered_set<ObjectId> added_set(added.begin(), added.end());
+  for (FunctionId fid : fbest_set) {
+    const PrefFunction& f = (*fns_)[fid];
+    auto it = obest_.find(fid);
+    if (it == obest_.end()) {
+      // Full scan over the current members.
+      Best best{kInvalidObject, 0.0};
+      for (const MemberCandidate& m : members) {
+        double s = f.Score(*m.point);
+        if (best.oid == kInvalidObject ||
+            PairBefore(s, fid, m.oid, best.score, fid, best.oid)) {
+          best = Best{m.oid, s};
+        }
+      }
+      obest_.emplace(fid, best);
+    } else if (!added.empty()) {
+      // Compare the cached best only against newcomers.
+      Best& best = it->second;
+      for (const MemberCandidate& m : members) {
+        if (!added_set.contains(m.oid)) continue;
+        double s = f.Score(*m.point);
+        if (PairBefore(s, fid, m.oid, best.score, fid, best.oid)) {
+          best = Best{m.oid, s};
+        }
+      }
+    }
+  }
+
+  // Report members whose candidate function points back at them.
+  std::vector<MatchPair> pairs;
+  for (const MemberCandidate& m : members) {
+    const Best& best = obest_.at(m.fbest);
+    if (best.oid == m.oid) {
+      pairs.push_back(MatchPair{m.fbest, m.oid, m.fbest_score});
+    }
+  }
+  return pairs;
+}
+
+void BestPairEngine::OnObjectsRemoved(const std::vector<ObjectId>& removed) {
+  if (removed.empty() || obest_.empty()) return;
+  std::unordered_set<ObjectId> removed_set(removed.begin(), removed.end());
+  for (auto it = obest_.begin(); it != obest_.end();) {
+    if (removed_set.contains(it->second.oid)) {
+      it = obest_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BestPairEngine::OnFunctionAssigned(FunctionId fid) { obest_.erase(fid); }
+
+}  // namespace fairmatch

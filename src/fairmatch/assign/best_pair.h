@@ -1,0 +1,63 @@
+// Mutual-best pairing between the skyline members and their candidate
+// functions (paper Section 5.3, Algorithm 3 lines 8-17).
+//
+// Each loop, every skyline member o carries its best unassigned function
+// o.fbest. For every function f appearing as some member's fbest, the
+// engine computes f.obest — f's best object *among the skyline members*
+// — and reports the pairs with (f.obest).fbest == f, which Property 2
+// proves stable. The f.obest values are cached across loops: the cache
+// entry stays valid until the cached object is assigned (removed) or new
+// members join the skyline (compared incrementally against the cache).
+#ifndef FAIRMATCH_ASSIGN_BEST_PAIR_H_
+#define FAIRMATCH_ASSIGN_BEST_PAIR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "fairmatch/assign/problem.h"
+
+namespace fairmatch {
+
+/// One skyline member with its current candidate function.
+struct MemberCandidate {
+  ObjectId oid = kInvalidObject;
+  const Point* point = nullptr;
+  FunctionId fbest = kInvalidFunction;
+  double fbest_score = 0.0;
+};
+
+/// Stateful mutual-best pair finder.
+class BestPairEngine {
+ public:
+  explicit BestPairEngine(const FunctionSet* fns) : fns_(fns) {}
+
+  /// Returns the stable pairs among `members` under Property 2.
+  /// `added` lists the member oids that joined the skyline since the
+  /// previous call (pass all members on the first call).
+  std::vector<MatchPair> FindMutualPairs(
+      const std::vector<MemberCandidate>& members,
+      const std::vector<ObjectId>& added);
+
+  /// Invalidate cached entries pointing at removed (assigned) objects.
+  void OnObjectsRemoved(const std::vector<ObjectId>& removed);
+
+  /// Drop the cache entry of an exhausted function.
+  void OnFunctionAssigned(FunctionId fid);
+
+  size_t memory_bytes() const {
+    return obest_.size() * 32 + sizeof(*this);
+  }
+
+ private:
+  struct Best {
+    ObjectId oid;
+    double score;
+  };
+
+  const FunctionSet* fns_;
+  std::unordered_map<FunctionId, Best> obest_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_BEST_PAIR_H_

@@ -1,0 +1,126 @@
+#include "fairmatch/assign/brute_force.h"
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "fairmatch/common/check.h"
+#include "fairmatch/common/stats.h"
+#include "fairmatch/common/timer.h"
+#include "fairmatch/topk/ranked_search.h"
+
+namespace fairmatch {
+
+namespace {
+
+struct GlobalEntry {
+  double score;
+  FunctionId fid;
+  ObjectId oid;
+};
+
+struct GlobalWorse {
+  bool operator()(const GlobalEntry& a, const GlobalEntry& b) const {
+    return PairBefore(b.score, b.fid, b.oid, a.score, a.fid, a.oid);
+  }
+};
+
+}  // namespace
+
+AssignResult BruteForceAssignment(const AssignmentProblem& problem,
+                                  const RTree& tree,
+                                  const BruteForceOptions& options) {
+  Timer timer;
+  AssignResult result;
+  result.stats.algorithm = "BruteForce";
+
+  const FunctionSet& fns = problem.functions;
+  std::vector<int> fcap(fns.size());
+  std::vector<int> ocap(problem.objects.size());
+  for (const PrefFunction& f : fns) fcap[f.id] = f.capacity;
+  for (const ObjectItem& o : problem.objects) ocap[o.id] = o.capacity;
+  std::vector<uint8_t> alive(problem.objects.size(), 1);
+  int64_t objects_left = static_cast<int64_t>(problem.objects.size());
+
+  // One resumable search per function plus its current candidate.
+  std::vector<std::unique_ptr<RankedSearch>> searches(fns.size());
+  std::vector<ObjectId> candidate(fns.size(), kInvalidObject);
+  MemoryTracker memory;
+  size_t heap_bytes = 0;
+
+  auto advance = [&](FunctionId fid) -> std::optional<RankedHit> {
+    if (searches[fid] == nullptr) {
+      searches[fid] = std::make_unique<RankedSearch>(&tree, &fns[fid]);
+    }
+    if (options.disk_functions != nullptr) {
+      // Disk-resident F: re-fetch the function's coefficients (counted).
+      Point dummy(problem.dims);
+      options.disk_functions->ScoreOf(fid, dummy);
+    }
+    size_t before = searches[fid]->memory_bytes();
+    auto hit = searches[fid]->Next(&alive);
+    heap_bytes += searches[fid]->memory_bytes() - before;
+    return hit;
+  };
+
+  std::priority_queue<GlobalEntry, std::vector<GlobalEntry>, GlobalWorse>
+      queue;
+  for (const PrefFunction& f : fns) {
+    auto hit = advance(f.id);
+    if (hit.has_value()) {
+      candidate[f.id] = hit->id;
+      queue.push(GlobalEntry{hit->score, f.id, hit->id});
+    }
+    memory.Set(heap_bytes + queue.size() * sizeof(GlobalEntry));
+  }
+
+  while (!queue.empty() && objects_left > 0) {
+    result.stats.loops++;
+    GlobalEntry top = queue.top();
+    queue.pop();
+    if (fcap[top.fid] == 0) continue;           // function exhausted
+    if (candidate[top.fid] != top.oid) continue;  // stale duplicate
+    if (!alive[top.oid]) {
+      // Candidate was assigned elsewhere: resume this function's search.
+      auto hit = advance(top.fid);
+      if (hit.has_value()) {
+        candidate[top.fid] = hit->id;
+        queue.push(GlobalEntry{hit->score, top.fid, hit->id});
+      } else {
+        candidate[top.fid] = kInvalidObject;  // no assignable object left
+      }
+      memory.Set(heap_bytes + queue.size() * sizeof(GlobalEntry));
+      continue;
+    }
+
+    // (top.fid, top.oid) is the best pair among the remaining sets:
+    // stable by Property 2.
+    result.matching.push_back(MatchPair{top.fid, top.oid, top.score});
+    fcap[top.fid]--;
+    if (--ocap[top.oid] == 0) {
+      alive[top.oid] = 0;
+      objects_left--;
+    }
+    if (fcap[top.fid] > 0) {
+      if (alive[top.oid]) {
+        // Same pair remains this function's top-1.
+        queue.push(top);
+      } else {
+        auto hit = advance(top.fid);
+        if (hit.has_value()) {
+          candidate[top.fid] = hit->id;
+          queue.push(GlobalEntry{hit->score, top.fid, hit->id});
+        } else {
+          candidate[top.fid] = kInvalidObject;
+        }
+      }
+    }
+    memory.Set(heap_bytes + queue.size() * sizeof(GlobalEntry));
+  }
+
+  result.stats.cpu_ms = timer.ElapsedMs();
+  result.stats.peak_memory_bytes = memory.peak();
+  return result;
+}
+
+}  // namespace fairmatch

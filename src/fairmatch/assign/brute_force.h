@@ -1,0 +1,37 @@
+// Brute Force baseline (paper Section 4.1).
+//
+// Runs one incremental BRS top-1 search per function and keeps every
+// search heap alive ("resuming search"), so that when a function's
+// candidate object is assigned elsewhere the search continues instead of
+// restarting. A global priority queue over the per-function candidates
+// yields the best pair; by Property 2 that pair is stable.
+//
+// Deletion model: assigned objects are tombstoned (skipped by all
+// searches) rather than physically removed from the R-tree, because
+// physical restructuring would invalidate the resumable heaps (see
+// DESIGN.md). The price Brute Force pays for resuming — one live heap
+// per function — is what the paper's memory charts show.
+#ifndef FAIRMATCH_ASSIGN_BRUTE_FORCE_H_
+#define FAIRMATCH_ASSIGN_BRUTE_FORCE_H_
+
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/topk/disk_function_lists.h"
+
+namespace fairmatch {
+
+struct BruteForceOptions {
+  /// When set, the run models disk-resident functions (Section 7.6):
+  /// every candidate advance re-fetches the function's coefficients
+  /// through the store's buffer (counted I/O).
+  DiskFunctionStore* disk_functions = nullptr;
+};
+
+/// Runs the Brute Force assignment on `tree` (which must contain the
+/// problem's objects).
+AssignResult BruteForceAssignment(const AssignmentProblem& problem,
+                                  const RTree& tree,
+                                  const BruteForceOptions& options = {});
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_BRUTE_FORCE_H_

@@ -1,0 +1,186 @@
+#include "fairmatch/assign/chain.h"
+
+#include <deque>
+#include <optional>
+#include <set>
+
+#include "fairmatch/common/check.h"
+#include "fairmatch/common/float_util.h"
+#include "fairmatch/common/stats.h"
+#include "fairmatch/common/timer.h"
+#include "fairmatch/rtree/node_store.h"
+#include "fairmatch/topk/ranked_search.h"
+
+namespace fairmatch {
+
+namespace {
+
+/// Work item: either a function or an object to test for mutual top-1.
+struct ChainItem {
+  bool is_function;
+  int32_t id;
+};
+
+}  // namespace
+
+AssignResult ChainAssignment(const AssignmentProblem& problem, RTree* tree,
+                             const ChainOptions& options) {
+  Timer timer;
+  AssignResult result;
+  result.stats.algorithm = "Chain";
+
+  const FunctionSet& fns = problem.functions;
+  const int dims = problem.dims;
+
+  // R-tree over the functions' effective weights: main-memory in the
+  // standard setting, disk-paged (counted I/O) when F is disk-resident.
+  // Stored coordinates are rounded up so node maxscores remain upper
+  // bounds; leaf candidates are rescored exactly (see RankedSearch).
+  const bool disk_f = options.disk_functions != nullptr;
+  MemNodeStore mem_fstore(dims);
+  PagedNodeStore paged_fstore(dims, /*buffer_frames=*/4096);
+  NodeStore* fstore_ptr =
+      disk_f ? static_cast<NodeStore*>(&paged_fstore) : &mem_fstore;
+  RTree ftree(fstore_ptr);
+  {
+    std::vector<ObjectRecord> records;
+    records.reserve(fns.size());
+    for (const PrefFunction& f : fns) {
+      Point w(dims);
+      for (int d = 0; d < dims; ++d) w[d] = FloatUp(f.eff(d));
+      records.push_back(ObjectRecord{w, f.id});
+    }
+    ftree.BulkLoad(std::move(records));
+  }
+  if (disk_f) {
+    paged_fstore.ResetCounters();
+    paged_fstore.SetBufferFraction(options.function_tree_buffer);
+  }
+  // Remember each function's stored point for deletion.
+  std::vector<Point> fn_points(fns.size());
+  for (const PrefFunction& f : fns) {
+    Point w(dims);
+    for (int d = 0; d < dims; ++d) w[d] = FloatUp(f.eff(d));
+    fn_points[f.id] = w;
+  }
+
+  std::vector<int> fcap(fns.size());
+  std::vector<int> ocap(problem.objects.size());
+  for (const PrefFunction& f : fns) fcap[f.id] = f.capacity;
+  for (const ObjectItem& o : problem.objects) ocap[o.id] = o.capacity;
+  std::set<FunctionId> live_fns;
+  for (const PrefFunction& f : fns) live_fns.insert(f.id);
+  std::vector<uint8_t> obj_alive(problem.objects.size(), 1);
+  int64_t objects_left = static_cast<int64_t>(problem.objects.size());
+
+  MemoryTracker memory;
+  std::deque<ChainItem> queue;
+
+  // Top-1 object for a function: fresh BRS on the (mutating) object tree.
+  auto top1_object = [&](FunctionId fid) -> std::optional<RankedHit> {
+    if (options.disk_functions != nullptr) {
+      // Disk-resident F: fetch the function's coefficients (counted).
+      Point dummy(dims);
+      options.disk_functions->ScoreOf(fid, dummy);
+    }
+    RankedSearch search(tree, &fns[fid]);
+    auto hit = search.Next();
+    memory.Set(mem_fstore.memory_bytes() + search.memory_bytes() +
+               queue.size() * sizeof(ChainItem));
+    return hit;
+  };
+
+  // Top-1 function for an object: fresh BRS on the function tree with a
+  // pseudo-function whose weights are the object's attribute values.
+  auto top1_function =
+      [&](const Point& opoint) -> std::optional<RankedHit> {
+    PrefFunction pseudo;
+    pseudo.id = 0;
+    pseudo.dims = dims;
+    pseudo.gamma = 1.0;
+    for (int d = 0; d < dims; ++d) pseudo.alpha[d] = opoint[d];
+    RankedSearch search(&ftree, &pseudo);
+    search.set_leaf_scorer([&](ObjectId fid, const Point&) {
+      return fns[fid].Score(opoint);
+    });
+    auto hit = search.Next();
+    if (hit.has_value() && options.disk_functions != nullptr) {
+      // Disk-resident F: rescoring the winning candidate requires its
+      // coefficients (counted random accesses).
+      options.disk_functions->ScoreOf(hit->id, opoint);
+    }
+    memory.Set(mem_fstore.memory_bytes() + search.memory_bytes() +
+               queue.size() * sizeof(ChainItem));
+    return hit;
+  };
+
+  auto emit = [&](FunctionId fid, ObjectId oid, double score) {
+    result.matching.push_back(MatchPair{fid, oid, score});
+    if (--fcap[fid] == 0) {
+      live_fns.erase(fid);
+      FAIRMATCH_CHECK(ftree.Delete(fn_points[fid], fid));
+    }
+    if (--ocap[oid] == 0) {
+      obj_alive[oid] = 0;
+      objects_left--;
+      FAIRMATCH_CHECK(tree->Delete(problem.objects[oid].point, oid));
+    }
+  };
+
+  while (!live_fns.empty() && objects_left > 0) {
+    result.stats.loops++;
+    // Pick the next item to test: queue front, else any live function.
+    ChainItem item{};
+    bool have_item = false;
+    while (!queue.empty()) {
+      item = queue.front();
+      queue.pop_front();
+      if (item.is_function ? fcap[item.id] > 0 : obj_alive[item.id]) {
+        have_item = true;
+        break;
+      }
+    }
+    if (!have_item) {
+      item = ChainItem{true, *live_fns.begin()};
+      have_item = true;
+    }
+
+    if (item.is_function) {
+      FunctionId fid = item.id;
+      auto ohit = top1_object(fid);
+      if (!ohit.has_value()) break;  // no objects left
+      auto fhit = top1_function(ohit->point);
+      FAIRMATCH_CHECK(fhit.has_value());
+      if (fhit->id == fid) {
+        emit(fid, ohit->id, ohit->score);
+        // Capacitated endpoints stay live and are re-picked later.
+      } else {
+        // Not mutual: the object is pushed (the paper's "push aNN");
+        // fid stays in the live set and is re-picked when Q drains.
+        queue.push_back(ChainItem{false, ohit->id});
+      }
+    } else {
+      ObjectId oid = item.id;
+      auto fhit = top1_function(problem.objects[oid].point);
+      if (!fhit.has_value()) break;  // no functions left
+      auto ohit = top1_object(fhit->id);
+      FAIRMATCH_CHECK(ohit.has_value());
+      if (ohit->id == oid) {
+        emit(fhit->id, oid, ohit->score);
+      } else {
+        queue.push_back(ChainItem{true, fhit->id});
+      }
+    }
+  }
+
+  result.stats.cpu_ms = timer.ElapsedMs();
+  result.stats.peak_memory_bytes = memory.peak();
+  if (disk_f) {
+    // I/O incurred on the disk-resident function R-tree; the caller adds
+    // the coefficient-store traffic it owns.
+    result.stats.io_accesses = paged_fstore.counters().io_accesses();
+  }
+  return result;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,38 @@
+// Chain baseline — adaptation of [Wong et al., VLDB 2007] (paper
+// Sections 2.1 and 7).
+//
+// The functions are indexed by a main-memory R-tree built on their
+// effective weights; the nearest-neighbor module of the spatial Chain
+// algorithm is replaced by BRS top-1 searches: top-1 object for a
+// function on the object R-tree, and top-1 function for an object on
+// the function R-tree. Mutual top-1 pairs are stable (Property 1/2).
+// Assigned entries are *physically deleted* from their R-trees, and
+// every top-1 query starts from scratch — the behavior whose I/O and
+// CPU cost the paper's experiments expose.
+#ifndef FAIRMATCH_ASSIGN_CHAIN_H_
+#define FAIRMATCH_ASSIGN_CHAIN_H_
+
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/topk/disk_function_lists.h"
+
+namespace fairmatch {
+
+struct ChainOptions {
+  /// When set, models disk-resident functions (Section 7.6): the
+  /// function R-tree is built on simulated-disk pages behind an LRU
+  /// buffer (its traversals are counted I/O, reported through
+  /// RunStats::io_accesses), and object-side searches re-fetch function
+  /// coefficients through this store (also counted).
+  DiskFunctionStore* disk_functions = nullptr;
+  /// Buffer fraction for the disk-resident function R-tree.
+  double function_tree_buffer = 0.02;
+};
+
+/// Runs Chain. `tree` must contain the problem's objects and is
+/// physically modified (deletions); pass a freshly built tree.
+AssignResult ChainAssignment(const AssignmentProblem& problem, RTree* tree,
+                             const ChainOptions& options = {});
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_CHAIN_H_

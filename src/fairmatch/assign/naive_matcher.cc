@@ -1,0 +1,50 @@
+#include "fairmatch/assign/naive_matcher.h"
+
+#include <vector>
+
+namespace fairmatch {
+
+Matching NaiveStableMatching(const AssignmentProblem& problem) {
+  std::vector<int> fcap(problem.functions.size());
+  std::vector<int> ocap(problem.objects.size());
+  int64_t fn_left = 0;
+  int64_t obj_left = 0;
+  for (size_t i = 0; i < problem.functions.size(); ++i) {
+    fcap[i] = problem.functions[i].capacity;
+    fn_left += fcap[i];
+  }
+  for (size_t i = 0; i < problem.objects.size(); ++i) {
+    ocap[i] = problem.objects[i].capacity;
+    obj_left += ocap[i];
+  }
+
+  Matching out;
+  while (fn_left > 0 && obj_left > 0) {
+    FunctionId best_f = kInvalidFunction;
+    ObjectId best_o = kInvalidObject;
+    double best_s = 0.0;
+    bool found = false;
+    for (const PrefFunction& f : problem.functions) {
+      if (fcap[f.id] == 0) continue;
+      for (const ObjectItem& o : problem.objects) {
+        if (ocap[o.id] == 0) continue;
+        double s = f.Score(o.point);
+        if (!found || PairBefore(s, f.id, o.id, best_s, best_f, best_o)) {
+          found = true;
+          best_f = f.id;
+          best_o = o.id;
+          best_s = s;
+        }
+      }
+    }
+    if (!found) break;
+    out.push_back(MatchPair{best_f, best_o, best_s});
+    fcap[best_f]--;
+    ocap[best_o]--;
+    fn_left--;
+    obj_left--;
+  }
+  return out;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,18 @@
+// Reference oracle: the stable matching by definition.
+//
+// Repeatedly extracts the best remaining (f, o) pair under the canonical
+// order (score desc, fid asc, oid asc), decrementing capacities.
+// O(P * |F| * |O|) — for tests and tiny examples only.
+#ifndef FAIRMATCH_ASSIGN_NAIVE_MATCHER_H_
+#define FAIRMATCH_ASSIGN_NAIVE_MATCHER_H_
+
+#include "fairmatch/assign/problem.h"
+
+namespace fairmatch {
+
+/// Computes the stable matching directly from its definition.
+Matching NaiveStableMatching(const AssignmentProblem& problem);
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_NAIVE_MATCHER_H_

@@ -1,0 +1,50 @@
+#include "fairmatch/assign/problem.h"
+
+#include <algorithm>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+int64_t AssignmentProblem::TotalFunctionCapacity() const {
+  int64_t total = 0;
+  for (const PrefFunction& f : functions) total += f.capacity;
+  return total;
+}
+
+int64_t AssignmentProblem::TotalObjectCapacity() const {
+  int64_t total = 0;
+  for (const ObjectItem& o : objects) total += o.capacity;
+  return total;
+}
+
+void CanonicalizeMatching(Matching* matching) {
+  std::sort(matching->begin(), matching->end(),
+            [](const MatchPair& a, const MatchPair& b) {
+              if (a.fid != b.fid) return a.fid < b.fid;
+              return a.oid < b.oid;
+            });
+}
+
+bool SameMatching(Matching a, Matching b) {
+  if (a.size() != b.size()) return false;
+  CanonicalizeMatching(&a);
+  CanonicalizeMatching(&b);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].fid != b[i].fid || a[i].oid != b[i].oid) return false;
+  }
+  return true;
+}
+
+void BuildObjectTree(const AssignmentProblem& problem, RTree* tree,
+                     double fill_factor) {
+  FAIRMATCH_CHECK(tree->dims() == problem.dims);
+  std::vector<ObjectRecord> records;
+  records.reserve(problem.objects.size());
+  for (const ObjectItem& o : problem.objects) {
+    records.push_back(ObjectRecord{o.point, o.id});
+  }
+  tree->BulkLoad(std::move(records), fill_factor);
+}
+
+}  // namespace fairmatch

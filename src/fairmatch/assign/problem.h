@@ -1,0 +1,88 @@
+// Problem statement types for the fair-assignment computation
+// (paper Section 3), and the canonical pair ordering all algorithms use.
+//
+// The matching is defined by iteratively extracting the pair (f, o) with
+// the highest f(o) from the remaining sets. Ties are broken by smaller
+// function id, then smaller object id; every algorithm in this library
+// follows the same total order, which makes the result matching unique
+// and lets tests compare algorithms for exact equality.
+#ifndef FAIRMATCH_ASSIGN_PROBLEM_H_
+#define FAIRMATCH_ASSIGN_PROBLEM_H_
+
+#include <string>
+#include <vector>
+
+#include "fairmatch/common/preference.h"
+#include "fairmatch/rtree/rtree.h"
+
+namespace fairmatch {
+
+/// One assignable object (a point in [0,1]^D with an optional capacity,
+/// Section 6.1).
+struct ObjectItem {
+  ObjectId id = kInvalidObject;
+  Point point;
+  int capacity = 1;
+};
+
+/// A full problem instance: the function set F and the object set O.
+struct AssignmentProblem {
+  int dims = 0;
+  FunctionSet functions;        // ids == indices
+  std::vector<ObjectItem> objects;  // ids == indices
+
+  int64_t TotalFunctionCapacity() const;
+  int64_t TotalObjectCapacity() const;
+};
+
+/// One assignment in the output matching.
+struct MatchPair {
+  FunctionId fid = kInvalidFunction;
+  ObjectId oid = kInvalidObject;
+  double score = 0.0;
+};
+
+/// The stable matching, in the order pairs were established.
+using Matching = std::vector<MatchPair>;
+
+/// Returns true iff pair a precedes pair b in the canonical extraction
+/// order: higher score, then smaller function id, then smaller object id.
+inline bool PairBefore(double sa, FunctionId fa, ObjectId oa, double sb,
+                       FunctionId fb, ObjectId ob) {
+  if (sa != sb) return sa > sb;
+  if (fa != fb) return fa < fb;
+  return oa < ob;
+}
+
+/// Sorts by (fid, oid) — a canonical form for set comparison.
+void CanonicalizeMatching(Matching* matching);
+
+/// True iff the two matchings contain the same (fid, oid) multiset.
+bool SameMatching(Matching a, Matching b);
+
+/// Execution statistics reported by every algorithm.
+struct RunStats {
+  std::string algorithm;
+  double cpu_ms = 0.0;
+  int64_t io_accesses = 0;
+  size_t peak_memory_bytes = 0;
+  int64_t loops = 0;
+
+  double peak_memory_mb() const {
+    return static_cast<double>(peak_memory_bytes) / (1024.0 * 1024.0);
+  }
+};
+
+/// Matching plus statistics.
+struct AssignResult {
+  Matching matching;
+  RunStats stats;
+};
+
+/// Bulk-loads `problem`'s objects into an (empty) R-tree.
+void BuildObjectTree(const AssignmentProblem& problem, RTree* tree,
+                     double fill_factor = 0.7);
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_PROBLEM_H_

@@ -1,0 +1,173 @@
+#include "fairmatch/assign/sb.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fairmatch/common/check.h"
+#include "fairmatch/common/stats.h"
+#include "fairmatch/common/timer.h"
+
+namespace fairmatch {
+
+SBAssignment::SBAssignment(const AssignmentProblem* problem,
+                           const RTree* tree, SBOptions options,
+                           FunctionIndexBase* fn_index)
+    : problem_(problem), tree_(tree), options_(options), fn_index_(fn_index) {}
+
+bool SBAssignment::RefreshCandidate(ObjectState* state, const Point& point) {
+  if (options_.best_pair_mode == BestPairMode::kExhaustive) {
+    // Ablation mode (Algorithm 1 without Section 5.1): no resuming of
+    // any kind — every loop re-scans the remaining functions for every
+    // skyline member, which is exactly the CPU cost Figure 8 isolates.
+    FunctionId best = kInvalidFunction;
+    double best_s = 0.0;
+    for (const PrefFunction& f : problem_->functions) {
+      if (assigned_[f.id]) continue;
+      double s = f.Score(point);
+      if (best == kInvalidFunction || s > best_s ||
+          (s == best_s && f.id < best)) {
+        best = f.id;
+        best_s = s;
+      }
+    }
+    if (best == kInvalidFunction) return false;
+    state->cand_fid = best;
+    state->cand_score = best_s;
+    return true;
+  }
+  if (state->cand_fid != kInvalidFunction && !assigned_[state->cand_fid]) {
+    return true;  // resumable candidate still valid (Section 5.1)
+  }
+  auto result = rt1_->Best(&state->ta, point, assigned_);
+  if (!result.has_value()) return false;
+  state->cand_fid = result->first;
+  state->cand_score = result->second;
+  return true;
+}
+
+size_t SBAssignment::StateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [oid, state] : states_) {
+    bytes += 48 + state.ta.memory_bytes();
+  }
+  return bytes;
+}
+
+AssignResult SBAssignment::Run() {
+  Timer timer;
+  AssignResult result;
+  result.stats.algorithm = "SB";
+
+  const FunctionSet& fns = problem_->functions;
+  assigned_.assign(fns.size(), 0);
+  fcap_.resize(fns.size());
+  int64_t remaining_fns = static_cast<int64_t>(fns.size());
+  for (const PrefFunction& f : fns) fcap_[f.id] = f.capacity;
+  std::vector<int> ocap(problem_->objects.size());
+  for (const ObjectItem& o : problem_->objects) ocap[o.id] = o.capacity;
+
+  if (options_.best_pair_mode == BestPairMode::kThresholdAlgorithm) {
+    if (fn_index_ == nullptr) {
+      owned_lists_ = std::make_unique<FunctionLists>(&fns);
+      fn_index_ = owned_lists_.get();
+    }
+    rt1_ = std::make_unique<ReverseTop1>(fn_index_, options_.ta);
+  }
+
+  SkylineManager update_sky(tree_);
+  DeltaSkyManager delta_sky(tree_);
+  const bool use_update =
+      options_.skyline_mode == SkylineMode::kUpdateSkyline;
+
+  BestPairEngine engine(&fns);
+  MemoryTracker memory;
+  std::vector<ObjectId> odel;
+  std::unordered_set<ObjectId> known_members;
+  bool first = true;
+  bool functions_exhausted = false;
+
+  while (remaining_fns > 0 && !functions_exhausted) {
+    result.stats.loops++;
+    // --- skyline maintenance -------------------------------------------
+    if (first) {
+      if (use_update) {
+        update_sky.ComputeInitial();
+      } else {
+        delta_sky.ComputeInitial();
+      }
+      first = false;
+    } else {
+      if (use_update) {
+        update_sky.RemoveAndUpdate(odel);
+      } else {
+        for (ObjectId oid : odel) delta_sky.Remove(oid);
+      }
+    }
+    odel.clear();
+    SkylineSet& sky = use_update ? update_sky.skyline() : delta_sky.skyline();
+    if (sky.size() == 0) break;  // objects exhausted
+
+    // --- per-member candidates (o.fbest) --------------------------------
+    std::vector<MemberCandidate> members;
+    std::vector<ObjectId> added;
+    members.reserve(sky.size());
+    sky.ForEach([&](int, const SkylineObject& m) {
+      if (functions_exhausted) return;
+      ObjectState& state = states_[m.id];
+      if (!RefreshCandidate(&state, m.point)) {
+        functions_exhausted = true;
+        return;
+      }
+      members.push_back(
+          MemberCandidate{m.id, &m.point, state.cand_fid, state.cand_score});
+      if (!known_members.contains(m.id)) {
+        known_members.insert(m.id);
+        added.push_back(m.id);
+      }
+    });
+    if (functions_exhausted || members.empty()) break;
+
+    // --- stable pair extraction ------------------------------------------
+    std::vector<MatchPair> pairs;
+    if (options_.multi_pair) {
+      pairs = engine.FindMutualPairs(members, added);
+    } else {
+      // Single pair per loop (Algorithm 1): the globally best candidate
+      // pair is stable.
+      const MemberCandidate* best = &members[0];
+      for (const MemberCandidate& m : members) {
+        if (PairBefore(m.fbest_score, m.fbest, m.oid, best->fbest_score,
+                       best->fbest, best->oid)) {
+          best = &m;
+        }
+      }
+      pairs.push_back(MatchPair{best->fbest, best->oid, best->fbest_score});
+    }
+    FAIRMATCH_CHECK(!pairs.empty());
+
+    for (const MatchPair& pair : pairs) {
+      result.matching.push_back(pair);
+      if (--fcap_[pair.fid] == 0) {
+        assigned_[pair.fid] = 1;
+        remaining_fns--;
+        engine.OnFunctionAssigned(pair.fid);
+      }
+      if (--ocap[pair.oid] == 0) {
+        odel.push_back(pair.oid);
+        states_.erase(pair.oid);
+        known_members.erase(pair.oid);
+      }
+    }
+    engine.OnObjectsRemoved(odel);
+
+    size_t sky_bytes =
+        use_update ? update_sky.memory_bytes() : delta_sky.memory_bytes();
+    memory.Set(sky_bytes + StateBytes() + engine.memory_bytes());
+  }
+
+  result.stats.cpu_ms = timer.ElapsedMs();
+  result.stats.peak_memory_bytes = memory.peak();
+  return result;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,88 @@
+// SB — the paper's skyline-based stable assignment (Algorithms 1 & 3).
+//
+// Maintains the skyline of the unassigned objects (I/O-optimally via
+// UpdateSkyline, or with DeltaSky for the Figure 8 ablation), finds each
+// skyline member's best unassigned function with the resumable TA-based
+// reverse top-1 search (Section 5.1), and emits every mutual-best pair
+// per loop (Section 5.3). Supports capacities (Section 6.1) and
+// priorities (Section 6.2); see two_skyline.h for the prioritized
+// two-skyline variant and sb_alt.h for disk-resident function batches.
+#ifndef FAIRMATCH_ASSIGN_SB_H_
+#define FAIRMATCH_ASSIGN_SB_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "fairmatch/assign/best_pair.h"
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/skyline/bbs.h"
+#include "fairmatch/skyline/delta_sky.h"
+#include "fairmatch/topk/reverse_top1.h"
+
+namespace fairmatch {
+
+/// Which skyline maintenance module SB uses.
+enum class SkylineMode {
+  kUpdateSkyline,  // the paper's Algorithm 2 (I/O-optimal)
+  kDeltaSky,       // baseline for the Figure 8 ablation
+};
+
+/// Which best-pair search SB uses.
+enum class BestPairMode {
+  kThresholdAlgorithm,  // Section 5.1 (TA over sorted coefficient lists)
+  kExhaustive,          // plain |F| scan per member (the "SB-UpdateSkyline"
+                        // ablation: Algorithm 1 without Section 5.1)
+};
+
+/// SB configuration.
+struct SBOptions {
+  SkylineMode skyline_mode = SkylineMode::kUpdateSkyline;
+  BestPairMode best_pair_mode = BestPairMode::kThresholdAlgorithm;
+  /// Emit multiple stable pairs per loop (Section 5.3). The ablation
+  /// variants disable this and emit one pair per loop (Algorithm 1).
+  bool multi_pair = true;
+  /// TA tuning (omega, biased probing, resume).
+  ReverseTop1Options ta;
+};
+
+/// The SB assignment algorithm.
+class SBAssignment {
+ public:
+  /// `tree` must contain exactly the problem's objects. If `fn_index` is
+  /// null an in-memory FunctionLists index is built (its construction
+  /// time is charged to the run, matching the paper's accounting);
+  /// passing a DiskFunctionStore yields the disk-resident-F setting.
+  SBAssignment(const AssignmentProblem* problem, const RTree* tree,
+               SBOptions options, FunctionIndexBase* fn_index = nullptr);
+
+  /// Runs the assignment to completion.
+  AssignResult Run();
+
+ private:
+  struct ObjectState {
+    ReverseTop1State ta;
+    FunctionId cand_fid = kInvalidFunction;
+    double cand_score = 0.0;
+  };
+
+  /// Ensures `state` holds a valid (unassigned) candidate for `point`.
+  /// Returns false when every function is exhausted.
+  bool RefreshCandidate(ObjectState* state, const Point& point);
+
+  size_t StateBytes() const;
+
+  const AssignmentProblem* problem_;
+  const RTree* tree_;
+  SBOptions options_;
+  FunctionIndexBase* fn_index_;
+
+  std::unique_ptr<FunctionLists> owned_lists_;
+  std::unique_ptr<ReverseTop1> rt1_;
+  std::vector<uint8_t> assigned_;  // function capacity exhausted
+  std::vector<int> fcap_;
+  std::unordered_map<ObjectId, ObjectState> states_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_SB_H_

@@ -1,0 +1,224 @@
+#include "fairmatch/assign/sb_alt.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "fairmatch/assign/best_pair.h"
+#include "fairmatch/common/check.h"
+#include "fairmatch/common/stats.h"
+#include "fairmatch/common/timer.h"
+#include "fairmatch/skyline/bbs.h"
+
+namespace fairmatch {
+
+namespace {
+
+// See reverse_top1.cc: the threshold bound needs rounding slack, and at
+// exact ties scanning must continue so the smallest-id winner is found.
+constexpr double kBoundSlack = 1e-9;
+
+/// Knapsack-tight threshold (Section 5.1) given per-list frontier values.
+double TightThreshold(const Point& o, const std::vector<int>& dim_order,
+                      const std::vector<double>& frontier, double budget) {
+  double threshold = 0.0;
+  for (int d : dim_order) {
+    if (budget <= 0.0) break;
+    double beta = std::min(budget, frontier[d]);
+    threshold += beta * o[d];
+    budget -= beta;
+  }
+  return threshold;
+}
+
+}  // namespace
+
+AssignResult SBAltAssignment(const AssignmentProblem& problem,
+                             const RTree& tree, DiskFunctionStore* store) {
+  Timer timer;
+  AssignResult result;
+  result.stats.algorithm = "SB-alt";
+
+  const FunctionSet& fns = problem.functions;
+  const int dims = problem.dims;
+  const int num_fns = static_cast<int>(fns.size());
+
+  std::vector<uint8_t> assigned(num_fns, 0);
+  std::vector<int> fcap(num_fns);
+  for (const PrefFunction& f : fns) fcap[f.id] = f.capacity;
+  int64_t remaining_fns = num_fns;
+  std::vector<int> ocap(problem.objects.size());
+  for (const ObjectItem& o : problem.objects) ocap[o.id] = o.capacity;
+
+  SkylineManager sky_mgr(&tree);
+  BestPairEngine engine(&fns);
+  MemoryTracker memory;
+  std::vector<ObjectId> odel;
+  std::unordered_set<ObjectId> known_members;
+  bool first = true;
+
+  while (remaining_fns > 0) {
+    result.stats.loops++;
+    if (first) {
+      sky_mgr.ComputeInitial();
+      first = false;
+    } else {
+      sky_mgr.RemoveAndUpdate(odel);
+    }
+    odel.clear();
+    SkylineSet& sky = sky_mgr.skyline();
+    if (sky.size() == 0) break;
+
+    // Gather the members; best functions are recomputed from scratch.
+    struct Member {
+      ObjectId oid;
+      const Point* point;
+      std::vector<int> dim_order;
+      FunctionId best_f = kInvalidFunction;
+      double best_s = 0.0;
+      std::array<double, kMaxDims> best_eff{};
+      bool done = false;
+    };
+    std::vector<Member> members;
+    members.reserve(sky.size());
+    sky.ForEach([&](int, const SkylineObject& m) {
+      Member mem;
+      mem.oid = m.id;
+      mem.point = &m.point;
+      mem.dim_order.resize(dims);
+      std::iota(mem.dim_order.begin(), mem.dim_order.end(), 0);
+      std::sort(mem.dim_order.begin(), mem.dim_order.end(), [&](int a, int b) {
+        if (m.point[a] != m.point[b]) return m.point[a] > m.point[b];
+        return a < b;
+      });
+      members.push_back(std::move(mem));
+    });
+
+    // Batch TA over the disk lists: round-robin, one page at a time.
+    std::vector<int64_t> next_page(dims, 0);
+    std::vector<double> frontier(dims, store->max_gamma());
+    std::vector<uint8_t> seen(num_fns, 0);
+    int undone = static_cast<int>(members.size());
+    std::vector<ListRecord> page;
+    std::array<double, kMaxDims> eff{};
+    const int64_t pages = store->pages_per_list();
+
+    while (undone > 0) {
+      bool progressed = false;
+      for (int d = 0; d < dims && undone > 0; ++d) {
+        if (next_page[d] >= pages) continue;
+        int count = store->ReadListPage(d, next_page[d]++, &page);
+        progressed = true;
+        for (int r = 0; r < count; ++r) {
+          FunctionId fid = page[r].fid;
+          if (seen[fid]) continue;
+          seen[fid] = 1;
+          if (assigned[fid]) continue;
+          // Before paying D-1 random accesses, bound f's score: f was
+          // unseen until now, so in every other list its entry is at or
+          // below the scan frontier — alpha'_k <= frontier[k] — and its
+          // coefficients sum to at most max gamma. If the bound cannot
+          // beat (or tie) any undone member's current best, skip the
+          // fetch entirely; this is what keeps the batch search's I/O
+          // low once the early list prefixes are consumed.
+          bool worth_fetching = false;
+          for (const Member& mem : members) {
+            if (mem.done) continue;
+            if (mem.best_f == kInvalidFunction) {
+              worth_fetching = true;
+              break;
+            }
+            double budget = store->max_gamma() - page[r].coef;
+            double bound = page[r].coef * (*mem.point)[d];
+            for (int k : mem.dim_order) {
+              if (k == d || budget <= 0.0) continue;
+              double beta = std::min(budget, frontier[k]);
+              bound += beta * (*mem.point)[k];
+              budget -= beta;
+            }
+            if (bound >= mem.best_s - kBoundSlack) {
+              worth_fetching = true;
+              break;
+            }
+          }
+          if (!worth_fetching) continue;
+          // Random accesses for the remaining coefficients.
+          store->FetchEff(fid, d, page[r].coef, eff.data());
+          for (Member& mem : members) {
+            if (mem.done) continue;
+            double s = 0.0;
+            for (int k = 0; k < dims; ++k) s += eff[k] * (*mem.point)[k];
+            if (mem.best_f == kInvalidFunction || s > mem.best_s ||
+                (s == mem.best_s && fid < mem.best_f)) {
+              mem.best_f = fid;
+              mem.best_s = s;
+              mem.best_eff = eff;
+            }
+          }
+        }
+        if (count > 0) frontier[d] = page[count - 1].coef;
+        // Threshold test after each page (strict: ties keep scanning so
+        // the smallest-id tie winner is found).
+        for (Member& mem : members) {
+          if (mem.done || mem.best_f == kInvalidFunction) continue;
+          double t = TightThreshold(*mem.point, mem.dim_order, frontier,
+                                    store->max_gamma());
+          if (mem.best_s > t + kBoundSlack) {
+            mem.done = true;
+            undone--;
+          }
+        }
+      }
+      if (!progressed) break;  // all lists exhausted
+    }
+    memory.Set(sky_mgr.memory_bytes() + seen.size() +
+               members.size() * (sizeof(Member) + dims * 4) +
+               engine.memory_bytes());
+
+    // Mutual-best pairing (Property 2), same engine as SB.
+    std::vector<MemberCandidate> candidates;
+    std::vector<ObjectId> added;
+    candidates.reserve(members.size());
+    bool exhausted = false;
+    for (const Member& mem : members) {
+      if (mem.best_f == kInvalidFunction) {
+        exhausted = true;  // no unassigned function reachable
+        continue;
+      }
+      candidates.push_back(
+          MemberCandidate{mem.oid, mem.point, mem.best_f, mem.best_s});
+      if (!known_members.contains(mem.oid)) {
+        known_members.insert(mem.oid);
+        added.push_back(mem.oid);
+      }
+    }
+    if (candidates.empty()) {
+      FAIRMATCH_CHECK(exhausted);
+      break;
+    }
+
+    std::vector<MatchPair> pairs = engine.FindMutualPairs(candidates, added);
+    FAIRMATCH_CHECK(!pairs.empty());
+    for (const MatchPair& pair : pairs) {
+      result.matching.push_back(pair);
+      if (--fcap[pair.fid] == 0) {
+        assigned[pair.fid] = 1;
+        remaining_fns--;
+        engine.OnFunctionAssigned(pair.fid);
+      }
+      if (--ocap[pair.oid] == 0) {
+        odel.push_back(pair.oid);
+        known_members.erase(pair.oid);
+      }
+    }
+    engine.OnObjectsRemoved(odel);
+  }
+
+  result.stats.cpu_ms = timer.ElapsedMs();
+  result.stats.peak_memory_bytes = memory.peak();
+  return result;
+}
+
+}  // namespace fairmatch

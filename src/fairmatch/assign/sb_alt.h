@@ -1,0 +1,28 @@
+// SB-alt — batch best-pair search for disk-resident functions
+// (paper Section 7.6 / Figure 17).
+//
+// Instead of one resumable TA per skyline object, SB-alt scans the
+// on-disk sorted coefficient lists block-by-block in round-robin order
+// once per loop. Every newly encountered function's coefficients are
+// fetched with random accesses and scored against *all* current skyline
+// members; a member is "done" once its best score provably beats the
+// knapsack threshold of every unseen function. No per-object TA state is
+// kept, so each list page is read at most once per loop and memory stays
+// low — the trade the paper describes for F larger than memory.
+#ifndef FAIRMATCH_ASSIGN_SB_ALT_H_
+#define FAIRMATCH_ASSIGN_SB_ALT_H_
+
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/topk/disk_function_lists.h"
+
+namespace fairmatch {
+
+/// Runs SB-alt. `tree` holds the objects (typically a MemNodeStore tree:
+/// in the Figure 17 setting O fits in memory); `store` holds the
+/// disk-resident function lists.
+AssignResult SBAltAssignment(const AssignmentProblem& problem,
+                             const RTree& tree, DiskFunctionStore* store);
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_SB_ALT_H_

@@ -1,0 +1,97 @@
+#include "fairmatch/assign/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace fairmatch {
+
+namespace {
+
+VerifyResult Fail(const char* fmt, long a, long b) {
+  VerifyResult result;
+  result.ok = false;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  result.message = buf;
+  return result;
+}
+
+}  // namespace
+
+VerifyResult VerifyStableMatching(const AssignmentProblem& problem,
+                                  const Matching& matching) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<int> fused(problem.functions.size(), 0);
+  std::vector<int> oused(problem.objects.size(), 0);
+  // Worst score currently held by each side (+inf if unmatched slots
+  // remain after the feasibility pass fills them in).
+  std::vector<double> fworst(problem.functions.size(), kInf);
+  std::vector<double> oworst(problem.objects.size(), kInf);
+
+  for (const MatchPair& pair : matching) {
+    if (pair.fid < 0 ||
+        pair.fid >= static_cast<FunctionId>(problem.functions.size())) {
+      return Fail("pair references unknown function %ld", pair.fid, 0);
+    }
+    if (pair.oid < 0 ||
+        pair.oid >= static_cast<ObjectId>(problem.objects.size())) {
+      return Fail("pair references unknown object %ld", pair.oid, 0);
+    }
+    double expect = problem.functions[pair.fid].Score(
+        problem.objects[pair.oid].point);
+    if (std::abs(expect - pair.score) > 1e-9) {
+      return Fail("pair (f=%ld, o=%ld) has a wrong score", pair.fid,
+                  pair.oid);
+    }
+    fused[pair.fid]++;
+    oused[pair.oid]++;
+    fworst[pair.fid] = std::min(fworst[pair.fid], pair.score);
+    oworst[pair.oid] = std::min(oworst[pair.oid], pair.score);
+  }
+
+  int64_t fn_spare = 0;
+  int64_t obj_spare = 0;
+  for (const PrefFunction& f : problem.functions) {
+    if (fused[f.id] > f.capacity) {
+      return Fail("function %ld exceeds its capacity %ld", f.id, f.capacity);
+    }
+    if (fused[f.id] < f.capacity) {
+      fn_spare += f.capacity - fused[f.id];
+      fworst[f.id] = -kInf;  // a spare slot accepts anything
+    }
+  }
+  for (const ObjectItem& o : problem.objects) {
+    if (oused[o.id] > o.capacity) {
+      return Fail("object %ld exceeds its capacity %ld", o.id, o.capacity);
+    }
+    if (oused[o.id] < o.capacity) {
+      obj_spare += o.capacity - oused[o.id];
+      oworst[o.id] = -kInf;
+    }
+  }
+
+  // Maximality: a stable matching leaves no capacity unused on both
+  // sides simultaneously.
+  if (fn_spare > 0 && obj_spare > 0) {
+    return Fail("matching is not maximal: %ld spare function and %ld spare "
+                "object capacity",
+                fn_spare, obj_spare);
+  }
+
+  // No blocking pair: (f, o) with f(o) strictly better than the worst
+  // assignment both currently hold.
+  for (const PrefFunction& f : problem.functions) {
+    for (const ObjectItem& o : problem.objects) {
+      double s = f.Score(o.point);
+      if (s > fworst[f.id] && s > oworst[o.id]) {
+        return Fail("blocking pair (f=%ld, o=%ld)", f.id, o.id);
+      }
+    }
+  }
+  return VerifyResult{};
+}
+
+}  // namespace fairmatch

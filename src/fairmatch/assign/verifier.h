@@ -1,0 +1,28 @@
+// Stability verifier: checks an output matching against Definition 1
+// directly, without recomputing the matching.
+#ifndef FAIRMATCH_ASSIGN_VERIFIER_H_
+#define FAIRMATCH_ASSIGN_VERIFIER_H_
+
+#include <string>
+
+#include "fairmatch/assign/problem.h"
+
+namespace fairmatch {
+
+/// Verification outcome; `message` describes the first violation found.
+struct VerifyResult {
+  bool ok = true;
+  std::string message;
+};
+
+/// Checks that `matching` is feasible (capacities respected, scores
+/// correct, maximal size) and stable (no blocking pair): there must be
+/// no (f, o) not matched together where f(o) is strictly better than
+/// what both f and o currently get — spare capacity counts as the worst
+/// possible current assignment.
+VerifyResult VerifyStableMatching(const AssignmentProblem& problem,
+                                  const Matching& matching);
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ASSIGN_VERIFIER_H_

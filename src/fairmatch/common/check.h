@@ -1,0 +1,41 @@
+// Lightweight invariant-checking macros (abort on violation).
+//
+// The library is exception-free (Google style); programming errors and
+// violated invariants terminate with a diagnostic instead of throwing.
+#ifndef FAIRMATCH_COMMON_CHECK_H_
+#define FAIRMATCH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fairmatch::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "FAIRMATCH_CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace fairmatch::internal
+
+/// Aborts the process if `expr` is false. Enabled in all build types:
+/// the checks guard data-structure invariants whose violation would
+/// silently corrupt experiment results.
+#define FAIRMATCH_CHECK(expr)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::fairmatch::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                                 \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define FAIRMATCH_DCHECK(expr) FAIRMATCH_CHECK(expr)
+#else
+#define FAIRMATCH_DCHECK(expr) \
+  do {                         \
+  } while (0)
+#endif
+
+#endif  // FAIRMATCH_COMMON_CHECK_H_

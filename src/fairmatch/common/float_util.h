@@ -1,0 +1,23 @@
+// Floating-point helpers.
+#ifndef FAIRMATCH_COMMON_FLOAT_UTIL_H_
+#define FAIRMATCH_COMMON_FLOAT_UTIL_H_
+
+#include <cmath>
+#include <limits>
+
+namespace fairmatch {
+
+/// Smallest float >= x. Used when double-precision values (effective
+/// function coefficients) are stored in float R-tree coordinates that
+/// must remain valid *upper* bounds for branch-and-bound pruning.
+inline float FloatUp(double x) {
+  float f = static_cast<float>(x);
+  if (static_cast<double>(f) < x) {
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  }
+  return f;
+}
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_FLOAT_UTIL_H_

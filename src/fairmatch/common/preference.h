@@ -1,0 +1,58 @@
+// Preference functions (the paper's set F).
+//
+// A preference function is a normalized linear weight vector over the D
+// object attributes (Equation 1), optionally extended with an integer
+// capacity (Section 6.1) and a priority gamma (Section 6.2, Equation 2):
+//
+//   f(o) = gamma * sum_i alpha_i * o_i,   sum_i alpha_i = 1.
+#ifndef FAIRMATCH_COMMON_PREFERENCE_H_
+#define FAIRMATCH_COMMON_PREFERENCE_H_
+
+#include <array>
+#include <vector>
+
+#include "fairmatch/common/types.h"
+#include "fairmatch/geom/mbr.h"
+#include "fairmatch/geom/point.h"
+
+namespace fairmatch {
+
+/// One user preference function.
+struct PrefFunction {
+  FunctionId id = kInvalidFunction;
+  int dims = 0;
+  /// Normalized weights: sum_i alpha[i] == 1.
+  std::array<double, kMaxDims> alpha{};
+  /// Priority multiplier (Section 6.2). 1.0 in the standard problem.
+  double gamma = 1.0;
+  /// How many objects this user may receive (Section 6.1).
+  int capacity = 1;
+
+  /// Effective coefficient alpha'_i = alpha_i * gamma.
+  double eff(int i) const { return alpha[i] * gamma; }
+
+  /// Score of an object under this function (Equation 2; reduces to
+  /// Equation 1 when gamma == 1). Computed as sum_i eff(i) * o_i so that
+  /// every component in the library — in-memory lists, disk-resident
+  /// lists, skylines over effective coefficients — produces bit-identical
+  /// scores and algorithms agree exactly on ties.
+  double Score(const Point& p) const {
+    double s = 0.0;
+    for (int i = 0; i < dims; ++i) s += alpha[i] * gamma * p[i];
+    return s;
+  }
+
+  /// Upper bound of Score over an MBR (used by Chain's object-side BRS).
+  double MaxScore(const MBR& box) const {
+    double s = 0.0;
+    for (int i = 0; i < dims; ++i) s += alpha[i] * gamma * box.hi()[i];
+    return s;
+  }
+};
+
+/// The function set F. Function ids equal vector indices.
+using FunctionSet = std::vector<PrefFunction>;
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_PREFERENCE_H_

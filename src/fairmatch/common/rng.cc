@@ -1,0 +1,20 @@
+#include "fairmatch/common/rng.h"
+
+namespace fairmatch {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+}  // namespace fairmatch

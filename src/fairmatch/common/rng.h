@@ -1,0 +1,43 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All generators in fairmatch take an explicit Rng so that every dataset,
+// workload and experiment is reproducible from a single seed.
+#ifndef FAIRMATCH_COMMON_RNG_H_
+#define FAIRMATCH_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace fairmatch {
+
+/// Thin wrapper around std::mt19937_64 with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal sample scaled by `stddev` around `mean`.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential sample with the given rate parameter.
+  double Exponential(double rate);
+
+  /// Underlying engine, for std::shuffle and friends.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_RNG_H_

@@ -1,0 +1,19 @@
+#include "fairmatch/common/stats.h"
+
+#include <cstdio>
+
+namespace fairmatch {
+
+std::string PerfCounters::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "io=%lld (reads=%lld writes=%lld) hits=%lld logical=%lld",
+                static_cast<long long>(io_accesses()),
+                static_cast<long long>(page_reads),
+                static_cast<long long>(page_writes),
+                static_cast<long long>(buffer_hits),
+                static_cast<long long>(logical_reads));
+  return std::string(buf);
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,28 @@
+// Wall-clock timer for the experimental harness.
+#ifndef FAIRMATCH_COMMON_TIMER_H_
+#define FAIRMATCH_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fairmatch {
+
+/// Millisecond stopwatch, started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_TIMER_H_

@@ -1,0 +1,37 @@
+// Core scalar types and limits shared across all fairmatch modules.
+#ifndef FAIRMATCH_COMMON_TYPES_H_
+#define FAIRMATCH_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace fairmatch {
+
+/// Identifier of a data object in O. Dense, starting at 0.
+using ObjectId = int32_t;
+
+/// Identifier of a preference function in F. Dense, starting at 0.
+using FunctionId = int32_t;
+
+/// Identifier of a 4 KB page on the simulated disk.
+using PageId = int32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPage = -1;
+
+/// Sentinel for "no object".
+inline constexpr ObjectId kInvalidObject = -1;
+
+/// Sentinel for "no function".
+inline constexpr FunctionId kInvalidFunction = -1;
+
+/// Maximum dimensionality supported by the fixed-size geometry types.
+/// The paper evaluates D in [3, 6]; 8 leaves headroom without heap
+/// allocation in hot paths.
+inline constexpr int kMaxDims = 8;
+
+/// Simulated disk page size in bytes (the paper uses 4 KB R-tree pages).
+inline constexpr int kPageSize = 4096;
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_TYPES_H_

@@ -1,0 +1,81 @@
+#include "fairmatch/data/real_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairmatch {
+
+namespace {
+
+float Clamp01(double v) {
+  return static_cast<float>(std::min(1.0, std::max(0.0, v)));
+}
+
+}  // namespace
+
+std::vector<Point> ZillowSim(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Latent property size factor (log-normal-ish).
+    double size = std::exp(rng.Gaussian(0.0, 0.6));
+    // Discrete room counts correlated with size: many exact duplicates,
+    // the skew that hurts top-1 search on the real Zillow data.
+    int bedrooms = std::clamp(
+        static_cast<int>(std::round(1.0 + 2.0 * size + rng.Gaussian(0, 0.7))),
+        1, 8);
+    int bathrooms = std::clamp(
+        static_cast<int>(std::round(0.5 + 1.2 * size + rng.Gaussian(0, 0.5))),
+        1, 6);
+    // Living area (sqft-like), log-normal around the size factor.
+    double area = 800.0 * size * std::exp(rng.Gaussian(0.0, 0.25));
+    // Price grows superlinearly with area/rooms; attractiveness is the
+    // inverted, normalized price (cheaper = better).
+    double price =
+        120.0 * std::pow(area, 1.1) * std::exp(rng.Gaussian(0.0, 0.4));
+    // Lot area: very heavy tail (rural outliers).
+    double lot = area * (1.5 + rng.Exponential(0.7));
+
+    Point p(5);
+    p[0] = Clamp01(bathrooms / 6.0);
+    p[1] = Clamp01(bedrooms / 8.0);
+    p[2] = Clamp01(std::log(area / 300.0) / std::log(40.0));
+    p[3] = Clamp01(1.0 - std::log(price / 2.0e4) / std::log(500.0));
+    p[4] = Clamp01(std::log(lot / 400.0) / std::log(120.0));
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<Point> NbaSim(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Latent per-season skill: most players are role players, few stars.
+    double u = rng.Uniform();
+    double skill = u * u;  // heavy concentration near 0
+    // Role axis: 0 = big man (rebounds/blocks), 1 = guard
+    // (assists/steals).
+    double role = rng.Uniform();
+
+    double pts = 30.0 * skill * std::exp(rng.Gaussian(0.0, 0.35));
+    double reb = 14.0 * skill * (1.2 - role) * std::exp(rng.Gaussian(0, 0.4));
+    double ast = 11.0 * skill * (0.2 + role) * std::exp(rng.Gaussian(0, 0.4));
+    double stl = 2.5 * skill * (0.4 + 0.6 * role) *
+                 std::exp(rng.Gaussian(0.0, 0.5));
+    double blk = 3.5 * skill * (1.1 - role) * std::exp(rng.Gaussian(0, 0.6));
+
+    Point p(5);
+    p[0] = Clamp01(pts / 35.0);
+    p[1] = Clamp01(reb / 16.0);
+    p[2] = Clamp01(ast / 12.0);
+    p[3] = Clamp01(stl / 3.0);
+    p[4] = Clamp01(blk / 4.0);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace fairmatch

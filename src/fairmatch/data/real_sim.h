@@ -1,0 +1,34 @@
+// Synthetic stand-ins for the paper's real datasets (see DESIGN.md
+// "Substitutions"): the originals (Zillow crawl, NBA statistics dump)
+// are not redistributable, so we generate sets that match their
+// documented cardinality, dimensionality, skew and correlation shape —
+// the properties the Figure 16 experiments exercise.
+#ifndef FAIRMATCH_DATA_REAL_SIM_H_
+#define FAIRMATCH_DATA_REAL_SIM_H_
+
+#include <vector>
+
+#include "fairmatch/common/rng.h"
+#include "fairmatch/geom/point.h"
+
+namespace fairmatch {
+
+/// Zillow-like real-estate records, 5 attributes (bathrooms, bedrooms,
+/// living area, price attractiveness, lot area), normalized to [0,1].
+/// Heavily skewed with discretized room counts (many duplicates) and
+/// log-normal sizes/prices, positively correlated through a latent
+/// "property size" factor.
+std::vector<Point> ZillowSim(int n, uint64_t seed);
+
+/// NBA-like player-season statlines, 5 attributes (points, rebounds,
+/// assists, steals, blocks), normalized to [0,1]. Heavy-tailed and
+/// positively correlated through a latent skill factor, with a
+/// guard/big "role" axis trading assists/steals against rebounds/blocks.
+std::vector<Point> NbaSim(int n, uint64_t seed);
+
+/// Cardinality of the paper's NBA dataset (12,278 player seasons).
+inline constexpr int kNbaSize = 12278;
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_DATA_REAL_SIM_H_

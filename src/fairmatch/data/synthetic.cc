@@ -1,0 +1,182 @@
+#include "fairmatch/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+namespace {
+
+float Clamp01(double v) {
+  return static_cast<float>(std::min(1.0, std::max(0.0, v)));
+}
+
+/// Uniform sample from the (dims-1)-simplex via normalized exponentials.
+void SimplexSample(int dims, Rng* rng, double* out) {
+  double total = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    out[d] = rng->Exponential(1.0);
+    total += out[d];
+  }
+  for (int d = 0; d < dims; ++d) out[d] /= total;
+}
+
+Point IndependentPoint(int dims, Rng* rng) {
+  Point p(dims);
+  for (int d = 0; d < dims; ++d) p[d] = Clamp01(rng->Uniform());
+  return p;
+}
+
+Point CorrelatedPoint(int dims, Rng* rng) {
+  // Values close in all dimensions: a shared base plus small noise.
+  double base = rng->Uniform();
+  Point p(dims);
+  for (int d = 0; d < dims; ++d) {
+    p[d] = Clamp01(base + rng->Gaussian(0.0, 0.08));
+  }
+  return p;
+}
+
+Point AntiCorrelatedPoint(int dims, Rng* rng) {
+  // Mass concentrated around the hyperplane sum(x) ~= t * dims: points
+  // good in one dimension tend to be poor in the others.
+  double frac[kMaxDims];
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    SimplexSample(dims, rng, frac);
+    double t = rng->Gaussian(0.5, 0.12);
+    t = std::min(0.95, std::max(0.05, t));
+    Point p(dims);
+    bool ok = true;
+    for (int d = 0; d < dims; ++d) {
+      double v = frac[d] * t * dims;
+      if (v > 1.0) {
+        ok = false;
+        break;
+      }
+      p[d] = Clamp01(v);
+    }
+    if (ok) return p;
+  }
+  // Fallback: clamped plane point (rare).
+  SimplexSample(dims, rng, frac);
+  Point p(dims);
+  for (int d = 0; d < dims; ++d) p[d] = Clamp01(frac[d] * 0.5 * dims);
+  return p;
+}
+
+}  // namespace
+
+Distribution ParseDistribution(const std::string& name) {
+  if (name.rfind("ind", 0) == 0) return Distribution::kIndependent;
+  if (name.rfind("cor", 0) == 0) return Distribution::kCorrelated;
+  return Distribution::kAntiCorrelated;
+}
+
+const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kIndependent:
+      return "independent";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAntiCorrelated:
+      return "anti-correlated";
+  }
+  return "?";
+}
+
+std::vector<Point> GeneratePoints(Distribution distribution, int n, int dims,
+                                  Rng* rng) {
+  FAIRMATCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    switch (distribution) {
+      case Distribution::kIndependent:
+        points.push_back(IndependentPoint(dims, rng));
+        break;
+      case Distribution::kCorrelated:
+        points.push_back(CorrelatedPoint(dims, rng));
+        break;
+      case Distribution::kAntiCorrelated:
+        points.push_back(AntiCorrelatedPoint(dims, rng));
+        break;
+    }
+  }
+  return points;
+}
+
+FunctionSet GenerateFunctions(int n, int dims, Rng* rng) {
+  FunctionSet fns;
+  fns.reserve(n);
+  double w[kMaxDims];
+  for (int i = 0; i < n; ++i) {
+    PrefFunction f;
+    f.id = i;
+    f.dims = dims;
+    SimplexSample(dims, rng, w);
+    for (int d = 0; d < dims; ++d) f.alpha[d] = w[d];
+    fns.push_back(f);
+  }
+  return fns;
+}
+
+FunctionSet GenerateClusteredFunctions(int n, int dims, int clusters,
+                                       double stddev, Rng* rng) {
+  FAIRMATCH_CHECK(clusters >= 1);
+  std::vector<std::array<double, kMaxDims>> centers(clusters);
+  double w[kMaxDims];
+  for (int c = 0; c < clusters; ++c) {
+    SimplexSample(dims, rng, w);
+    for (int d = 0; d < dims; ++d) centers[c][d] = w[d];
+  }
+  FunctionSet fns;
+  fns.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int c = static_cast<int>(rng->UniformInt(0, clusters - 1));
+    PrefFunction f;
+    f.id = i;
+    f.dims = dims;
+    double total = 0.0;
+    for (int d = 0; d < dims; ++d) {
+      double v = std::max(0.0, centers[c][d] + rng->Gaussian(0.0, stddev));
+      f.alpha[d] = v;
+      total += v;
+    }
+    if (total <= 0.0) {
+      for (int d = 0; d < dims; ++d) f.alpha[d] = 1.0 / dims;
+    } else {
+      for (int d = 0; d < dims; ++d) f.alpha[d] /= total;
+    }
+    fns.push_back(f);
+  }
+  return fns;
+}
+
+void AssignPriorities(FunctionSet* fns, int max_gamma, Rng* rng) {
+  for (PrefFunction& f : *fns) {
+    f.gamma = static_cast<double>(rng->UniformInt(1, max_gamma));
+  }
+}
+
+void SetFunctionCapacities(FunctionSet* fns, int k) {
+  for (PrefFunction& f : *fns) f.capacity = k;
+}
+
+AssignmentProblem MakeProblem(std::vector<Point> points, FunctionSet fns,
+                              int object_capacity) {
+  AssignmentProblem problem;
+  FAIRMATCH_CHECK(!points.empty());
+  FAIRMATCH_CHECK(!fns.empty());
+  problem.dims = points[0].dims();
+  problem.functions = std::move(fns);
+  problem.objects.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    problem.objects.push_back(ObjectItem{static_cast<ObjectId>(i),
+                                         points[i], object_capacity});
+  }
+  return problem;
+}
+
+}  // namespace fairmatch

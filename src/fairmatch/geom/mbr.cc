@@ -1,0 +1,101 @@
+#include "fairmatch/geom/mbr.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace fairmatch {
+
+MBR MBR::Empty(int dims) {
+  MBR box;
+  box.lo_ = Point(dims, std::numeric_limits<float>::max());
+  box.hi_ = Point(dims, std::numeric_limits<float>::lowest());
+  box.empty_ = true;
+  return box;
+}
+
+void MBR::Expand(const Point& p) {
+  FAIRMATCH_DCHECK(lo_.dims() == p.dims());
+  for (int i = 0; i < p.dims(); ++i) {
+    lo_[i] = std::min(lo_[i], p[i]);
+    hi_[i] = std::max(hi_[i], p[i]);
+  }
+  empty_ = false;
+}
+
+void MBR::Expand(const MBR& other) {
+  if (other.empty_) return;
+  Expand(other.lo_);
+  Expand(other.hi_);
+}
+
+bool MBR::Contains(const Point& p) const {
+  if (empty_) return false;
+  for (int i = 0; i < p.dims(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool MBR::Intersects(const MBR& other) const {
+  if (empty_ || other.empty_) return false;
+  for (int i = 0; i < dims(); ++i) {
+    if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+double MBR::Area() const {
+  if (empty_) return 0.0;
+  double area = 1.0;
+  for (int i = 0; i < dims(); ++i) {
+    area *= static_cast<double>(hi_[i]) - static_cast<double>(lo_[i]);
+  }
+  return area;
+}
+
+double MBR::Margin() const {
+  if (empty_) return 0.0;
+  double margin = 0.0;
+  for (int i = 0; i < dims(); ++i) {
+    margin += static_cast<double>(hi_[i]) - static_cast<double>(lo_[i]);
+  }
+  return margin;
+}
+
+double MBR::Enlargement(const Point& p) const {
+  if (empty_) return 0.0;
+  double expanded = 1.0;
+  for (int i = 0; i < dims(); ++i) {
+    float lo = std::min(lo_[i], p[i]);
+    float hi = std::max(hi_[i], p[i]);
+    expanded *= static_cast<double>(hi) - static_cast<double>(lo);
+  }
+  return expanded - Area();
+}
+
+double MBR::Enlargement(const MBR& other) const {
+  if (empty_) return other.Area();
+  if (other.empty_) return 0.0;
+  double expanded = 1.0;
+  for (int i = 0; i < dims(); ++i) {
+    float lo = std::min(lo_[i], other.lo_[i]);
+    float hi = std::max(hi_[i], other.hi_[i]);
+    expanded *= static_cast<double>(hi) - static_cast<double>(lo);
+  }
+  return expanded - Area();
+}
+
+bool MBR::IntersectsDominanceRegionOf(const Point& p) const {
+  if (empty_) return false;
+  for (int i = 0; i < dims(); ++i) {
+    if (lo_[i] > p[i]) return false;
+  }
+  return true;
+}
+
+std::string MBR::ToString() const {
+  if (empty_) return "[empty]";
+  return "[" + lo_.ToString() + " .. " + hi_.ToString() + "]";
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,115 @@
+// Sort-Tile-Recursive (STR) bulk loading for the R-tree.
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "fairmatch/common/check.h"
+#include "fairmatch/rtree/rtree.h"
+
+namespace fairmatch {
+
+namespace {
+
+// Recursively tiles `items` into groups of at most `cap`, sorting each
+// slab on successive dimensions. `key(item, dim)` extracts the sort key.
+template <typename Item, typename KeyFn>
+void StrTile(std::vector<Item>& items, int begin, int end, int dim, int dims,
+             int cap, const KeyFn& key,
+             const std::function<void(int, int)>& emit) {
+  int n = end - begin;
+  if (n <= cap) {
+    if (n > 0) emit(begin, end);
+    return;
+  }
+  if (dim == dims - 1) {
+    std::sort(items.begin() + begin, items.begin() + end,
+              [&](const Item& a, const Item& b) {
+                return key(a, dim) < key(b, dim);
+              });
+    for (int i = begin; i < end; i += cap) {
+      emit(i, std::min(i + cap, end));
+    }
+    return;
+  }
+  std::sort(items.begin() + begin, items.begin() + end,
+            [&](const Item& a, const Item& b) {
+              return key(a, dim) < key(b, dim);
+            });
+  double pages = std::ceil(static_cast<double>(n) / cap);
+  int remaining_dims = dims - dim;
+  int slabs = static_cast<int>(
+      std::ceil(std::pow(pages, 1.0 / remaining_dims)));
+  slabs = std::max(1, slabs);
+  int slab_size = (n + slabs - 1) / slabs;
+  for (int i = begin; i < end; i += slab_size) {
+    StrTile(items, i, std::min(i + slab_size, end), dim + 1, dims, cap, key,
+            emit);
+  }
+}
+
+}  // namespace
+
+void RTree::BulkLoad(std::vector<ObjectRecord> items, double fill_factor) {
+  FAIRMATCH_CHECK(size_ == 0);
+  FAIRMATCH_CHECK(fill_factor > 0.0 && fill_factor <= 1.0);
+  if (items.empty()) return;
+  const int dims = store_->dims();
+
+  int leaf_cap = std::max(
+      1, static_cast<int>(NodeView::LeafCapacity(dims) * fill_factor));
+  int internal_cap = std::max(
+      2, static_cast<int>(NodeView::InternalCapacity(dims) * fill_factor));
+
+  // Pack points into leaves.
+  std::vector<std::pair<MBR, PageId>> level_entries;
+  StrTile(
+      items, 0, static_cast<int>(items.size()), 0, dims, leaf_cap,
+      [](const ObjectRecord& rec, int dim) { return rec.point[dim]; },
+      [&](int begin, int end) {
+        PageId pid = store_->Allocate();
+        NodeHandle h = store_->Write(pid);
+        NodeView node = h.view();
+        node.Init(0);
+        MBR box = MBR::Empty(dims);
+        for (int i = begin; i < end; ++i) {
+          node.AppendLeaf(items[i].point, items[i].id);
+          box.Expand(items[i].point);
+        }
+        level_entries.emplace_back(box, pid);
+      });
+
+  // Pack node entries upward until a single root remains.
+  int level = 1;
+  while (level_entries.size() > 1) {
+    std::vector<std::pair<MBR, PageId>> next;
+    StrTile(
+        level_entries, 0, static_cast<int>(level_entries.size()), 0, dims,
+        internal_cap,
+        [](const std::pair<MBR, PageId>& e, int dim) {
+          return 0.5 * (e.first.lo()[dim] + e.first.hi()[dim]);
+        },
+        [&](int begin, int end) {
+          PageId pid = store_->Allocate();
+          NodeHandle h = store_->Write(pid);
+          NodeView node = h.view();
+          node.Init(level);
+          MBR box = MBR::Empty(dims);
+          for (int i = begin; i < end; ++i) {
+            node.AppendInternal(level_entries[i].first,
+                                level_entries[i].second);
+            box.Expand(level_entries[i].first);
+          }
+          next.emplace_back(box, pid);
+        });
+    level_entries = std::move(next);
+    level++;
+  }
+
+  // Replace the empty root with the packed tree.
+  store_->Free(root_);
+  root_ = level_entries[0].second;
+  root_level_ = level - 1;
+  size_ = static_cast<int64_t>(items.size());
+}
+
+}  // namespace fairmatch

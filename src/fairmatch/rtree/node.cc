@@ -1,0 +1,163 @@
+#include "fairmatch/rtree/node.h"
+
+#include <cstddef>
+#include <cstring>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+namespace {
+constexpr int kHeaderSize = 4;
+
+int16_t ReadI16(const std::byte* p) {
+  int16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void WriteI16(std::byte* p, int16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+int32_t ReadI32(const std::byte* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void WriteI32(std::byte* p, int32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+float ReadF32(const std::byte* p) {
+  float v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void WriteF32(std::byte* p, float v) { std::memcpy(p, &v, sizeof(v)); }
+}  // namespace
+
+int NodeView::LeafCapacity(int dims) {
+  return (kPageSize - kHeaderSize) / (4 * dims + 4);
+}
+
+int NodeView::InternalCapacity(int dims) {
+  return (kPageSize - kHeaderSize) / (8 * dims + 4);
+}
+
+int NodeView::level() const { return ReadI16(bytes_); }
+
+int NodeView::count() const { return ReadI16(bytes_ + 2); }
+
+void NodeView::set_count(int count) {
+  FAIRMATCH_DCHECK(writable_);
+  WriteI16(bytes_ + 2, static_cast<int16_t>(count));
+}
+
+void NodeView::Init(int level) {
+  FAIRMATCH_DCHECK(writable_);
+  WriteI16(bytes_, static_cast<int16_t>(level));
+  WriteI16(bytes_ + 2, 0);
+}
+
+int NodeView::entry_size() const {
+  return is_leaf() ? 4 * dims_ + 4 : 8 * dims_ + 4;
+}
+
+std::byte* NodeView::entry_ptr(int i) const {
+  return bytes_ + kHeaderSize + static_cast<ptrdiff_t>(i) * entry_size();
+}
+
+Point NodeView::leaf_point(int i) const {
+  FAIRMATCH_DCHECK(is_leaf());
+  FAIRMATCH_DCHECK(i >= 0 && i < count());
+  Point p(dims_);
+  const std::byte* e = entry_ptr(i);
+  for (int d = 0; d < dims_; ++d) p[d] = ReadF32(e + 4 * d);
+  return p;
+}
+
+MBR NodeView::entry_mbr(int i) const {
+  FAIRMATCH_DCHECK(i >= 0 && i < count());
+  const std::byte* e = entry_ptr(i);
+  if (is_leaf()) {
+    Point p(dims_);
+    for (int d = 0; d < dims_; ++d) p[d] = ReadF32(e + 4 * d);
+    return MBR(p);
+  }
+  Point lo(dims_);
+  Point hi(dims_);
+  for (int d = 0; d < dims_; ++d) {
+    lo[d] = ReadF32(e + 4 * d);
+    hi[d] = ReadF32(e + 4 * (dims_ + d));
+  }
+  return MBR(lo, hi);
+}
+
+int32_t NodeView::child(int i) const {
+  FAIRMATCH_DCHECK(i >= 0 && i < count());
+  const std::byte* e = entry_ptr(i);
+  return ReadI32(e + (is_leaf() ? 4 * dims_ : 8 * dims_));
+}
+
+void NodeView::AppendEntry(const MBR& mbr, int32_t child) {
+  if (is_leaf()) {
+    AppendLeaf(mbr.lo(), child);
+  } else {
+    AppendInternal(mbr, child);
+  }
+}
+
+void NodeView::AppendLeaf(const Point& p, ObjectId id) {
+  FAIRMATCH_DCHECK(writable_);
+  FAIRMATCH_DCHECK(is_leaf());
+  int n = count();
+  FAIRMATCH_CHECK(n < capacity());
+  std::byte* e = entry_ptr(n);
+  for (int d = 0; d < dims_; ++d) WriteF32(e + 4 * d, p[d]);
+  WriteI32(e + 4 * dims_, id);
+  set_count(n + 1);
+}
+
+void NodeView::AppendInternal(const MBR& mbr, PageId child_pid) {
+  FAIRMATCH_DCHECK(writable_);
+  FAIRMATCH_DCHECK(!is_leaf());
+  int n = count();
+  FAIRMATCH_CHECK(n < capacity());
+  SetInternalEntryAtUnchecked(n, mbr, child_pid);
+  set_count(n + 1);
+}
+
+void NodeView::SetInternalEntry(int i, const MBR& mbr, PageId child_pid) {
+  FAIRMATCH_DCHECK(i >= 0 && i < count());
+  SetInternalEntryAtUnchecked(i, mbr, child_pid);
+}
+
+void NodeView::SetInternalEntryAtUnchecked(int i, const MBR& mbr,
+                                           PageId child_pid) {
+  FAIRMATCH_DCHECK(writable_);
+  FAIRMATCH_DCHECK(!is_leaf());
+  std::byte* e = entry_ptr(i);
+  for (int d = 0; d < dims_; ++d) {
+    WriteF32(e + 4 * d, mbr.lo()[d]);
+    WriteF32(e + 4 * (dims_ + d), mbr.hi()[d]);
+  }
+  WriteI32(e + 8 * dims_, child_pid);
+}
+
+void NodeView::RemoveEntry(int i) {
+  FAIRMATCH_DCHECK(writable_);
+  int n = count();
+  FAIRMATCH_DCHECK(i >= 0 && i < n);
+  if (i != n - 1) {
+    std::memcpy(entry_ptr(i), entry_ptr(n - 1),
+                static_cast<size_t>(entry_size()));
+  }
+  set_count(n - 1);
+}
+
+MBR NodeView::ComputeMBR() const {
+  MBR box = MBR::Empty(dims_);
+  for (int i = 0; i < count(); ++i) box.Expand(entry_mbr(i));
+  return box;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,86 @@
+// On-page R-tree node layout and accessors.
+//
+// A node occupies exactly one 4 KB page:
+//
+//   offset 0 : int16  level   (0 = leaf)
+//   offset 2 : int16  count
+//   offset 4 : packed entries
+//
+// Leaf entry     : D floats (point)            + int32 object id
+// Internal entry : D floats lo + D floats hi   + int32 child page id
+//
+// NodeView is a zero-copy accessor over the page bytes; serialization
+// happens exactly at the simulated-disk boundary (buffer pool frames hold
+// the same byte layout that is "on disk").
+#ifndef FAIRMATCH_RTREE_NODE_H_
+#define FAIRMATCH_RTREE_NODE_H_
+
+#include <cstdint>
+
+#include "fairmatch/geom/mbr.h"
+#include "fairmatch/geom/point.h"
+
+namespace fairmatch {
+
+/// Lightweight view over a node page. Cheap to copy; does not own the
+/// bytes. Mutating methods require the view to be writable.
+class NodeView {
+ public:
+  NodeView(std::byte* bytes, int dims, bool writable)
+      : bytes_(bytes), dims_(dims), writable_(writable) {}
+
+  /// Maximum number of entries in a leaf node for dimensionality `dims`.
+  static int LeafCapacity(int dims);
+  /// Maximum number of entries in an internal node.
+  static int InternalCapacity(int dims);
+
+  int level() const;
+  int count() const;
+  bool is_leaf() const { return level() == 0; }
+  int dims() const { return dims_; }
+  int capacity() const {
+    return is_leaf() ? LeafCapacity(dims_) : InternalCapacity(dims_);
+  }
+
+  /// Resets the node to an empty node at `level`.
+  void Init(int level);
+
+  /// Point stored in leaf entry `i`.
+  Point leaf_point(int i) const;
+
+  /// MBR of entry `i` (degenerate point box for leaf entries).
+  MBR entry_mbr(int i) const;
+
+  /// Child page id (internal) or object id (leaf) of entry `i`.
+  int32_t child(int i) const;
+
+  /// Appends an entry. For leaves, `mbr` must be degenerate (lo used as
+  /// the point). Node must have free capacity.
+  void AppendEntry(const MBR& mbr, int32_t child);
+
+  void AppendLeaf(const Point& p, ObjectId id);
+  void AppendInternal(const MBR& mbr, PageId child_pid);
+
+  /// Overwrites internal entry `i`.
+  void SetInternalEntry(int i, const MBR& mbr, PageId child_pid);
+
+  /// Removes entry `i` by swapping the last entry into its slot.
+  void RemoveEntry(int i);
+
+  /// Tight bounding box over all entries.
+  MBR ComputeMBR() const;
+
+ private:
+  int entry_size() const;
+  std::byte* entry_ptr(int i) const;
+  void set_count(int count);
+  void SetInternalEntryAtUnchecked(int i, const MBR& mbr, PageId child_pid);
+
+  std::byte* bytes_;
+  int dims_;
+  bool writable_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_RTREE_NODE_H_

@@ -1,0 +1,110 @@
+#include "fairmatch/rtree/node_store.h"
+
+#include <cmath>
+#include <utility>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+NodeHandle::NodeHandle(PageHandle page, int dims, bool writable)
+    : page_(std::move(page)), dims_(dims), writable_(writable) {
+  pid_ = page_.page_id();
+  bytes_ = writable_ ? page_.mutable_bytes()
+                     : const_cast<std::byte*>(page_.bytes());
+}
+
+NodeHandle::NodeHandle(std::byte* bytes, PageId pid, int dims, bool writable)
+    : bytes_(bytes), pid_(pid), dims_(dims), writable_(writable) {}
+
+NodeHandle::NodeHandle(NodeHandle&& other) noexcept
+    : page_(std::move(other.page_)),
+      bytes_(other.bytes_),
+      pid_(other.pid_),
+      dims_(other.dims_),
+      writable_(other.writable_) {
+  other.bytes_ = nullptr;
+  other.pid_ = kInvalidPage;
+}
+
+NodeHandle& NodeHandle::operator=(NodeHandle&& other) noexcept {
+  if (this != &other) {
+    page_ = std::move(other.page_);
+    bytes_ = other.bytes_;
+    pid_ = other.pid_;
+    dims_ = other.dims_;
+    writable_ = other.writable_;
+    other.bytes_ = nullptr;
+    other.pid_ = kInvalidPage;
+  }
+  return *this;
+}
+
+void NodeHandle::Release() {
+  page_.Release();
+  bytes_ = nullptr;
+  pid_ = kInvalidPage;
+}
+
+PagedNodeStore::PagedNodeStore(int dims, size_t buffer_frames)
+    : NodeStore(dims), pool_(&disk_, buffer_frames, &counters_) {}
+
+NodeHandle PagedNodeStore::Read(PageId pid) {
+  return NodeHandle(pool_.FetchPage(pid), dims(), /*writable=*/false);
+}
+
+NodeHandle PagedNodeStore::Write(PageId pid) {
+  return NodeHandle(pool_.FetchPage(pid), dims(), /*writable=*/true);
+}
+
+PageId PagedNodeStore::Allocate() {
+  PageHandle handle = pool_.NewPage();
+  return handle.page_id();
+}
+
+void PagedNodeStore::Free(PageId pid) { pool_.DeletePage(pid); }
+
+void PagedNodeStore::SetBufferFraction(double fraction) {
+  auto frames = static_cast<size_t>(
+      std::llround(fraction * static_cast<double>(disk_.num_pages())));
+  pool_.set_capacity(frames);
+}
+
+void PagedNodeStore::ResetCounters() {
+  pool_.FlushAll();
+  counters_.Reset();
+}
+
+NodeHandle MemNodeStore::Read(PageId pid) {
+  return NodeHandle(BytesOf(pid), pid, dims(), /*writable=*/false);
+}
+
+NodeHandle MemNodeStore::Write(PageId pid) {
+  return NodeHandle(BytesOf(pid), pid, dims(), /*writable=*/true);
+}
+
+PageId MemNodeStore::Allocate() {
+  if (!free_list_.empty()) {
+    PageId pid = free_list_.back();
+    free_list_.pop_back();
+    pages_[pid] = std::make_unique<PageData>();
+    std::memset(pages_[pid]->bytes, 0, kPageSize);
+    return pid;
+  }
+  pages_.push_back(std::make_unique<PageData>());
+  std::memset(pages_.back()->bytes, 0, kPageSize);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void MemNodeStore::Free(PageId pid) {
+  FAIRMATCH_CHECK(pid >= 0 && pid < num_pages() && pages_[pid] != nullptr);
+  pages_[pid].reset();
+  free_list_.push_back(pid);
+}
+
+std::byte* MemNodeStore::BytesOf(PageId pid) {
+  FAIRMATCH_CHECK(pid >= 0 && pid < num_pages() && pages_[pid] != nullptr);
+  return pages_[pid]->bytes;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,145 @@
+// Node storage backends for the R-tree.
+//
+// PagedNodeStore keeps nodes on the simulated disk behind an LRU buffer
+// pool (every access is counted I/O) — this models the paper's
+// disk-resident object R-tree. MemNodeStore keeps nodes in main memory
+// with no I/O accounting — this models the paper's main-memory R-tree
+// over the function weights (used by the Chain baseline) and is also
+// used by tests.
+#ifndef FAIRMATCH_RTREE_NODE_STORE_H_
+#define FAIRMATCH_RTREE_NODE_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "fairmatch/rtree/node.h"
+#include "fairmatch/storage/buffer_pool.h"
+#include "fairmatch/storage/disk_manager.h"
+
+namespace fairmatch {
+
+/// RAII access to one node. Keeps the underlying page pinned (paged
+/// store) for as long as the handle lives.
+class NodeHandle {
+ public:
+  NodeHandle() = default;
+
+  /// Paged-store handle.
+  NodeHandle(PageHandle page, int dims, bool writable);
+
+  /// Memory-store handle (bytes owned elsewhere, stable).
+  NodeHandle(std::byte* bytes, PageId pid, int dims, bool writable);
+
+  NodeHandle(NodeHandle&& other) noexcept;
+  NodeHandle& operator=(NodeHandle&& other) noexcept;
+  NodeHandle(const NodeHandle&) = delete;
+  NodeHandle& operator=(const NodeHandle&) = delete;
+  ~NodeHandle() = default;
+
+  bool valid() const { return bytes_ != nullptr; }
+  PageId page_id() const { return pid_; }
+
+  /// Accessor over the node bytes.
+  NodeView view() const { return NodeView(bytes_, dims_, writable_); }
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  PageHandle page_;
+  std::byte* bytes_ = nullptr;
+  PageId pid_ = kInvalidPage;
+  int dims_ = 0;
+  bool writable_ = false;
+};
+
+/// Abstract node storage.
+class NodeStore {
+ public:
+  explicit NodeStore(int dims) : dims_(dims) {}
+  virtual ~NodeStore() = default;
+
+  NodeStore(const NodeStore&) = delete;
+  NodeStore& operator=(const NodeStore&) = delete;
+
+  int dims() const { return dims_; }
+
+  /// Read-only access (counted as a read in the paged store).
+  virtual NodeHandle Read(PageId pid) = 0;
+
+  /// Read-write access; the node is marked dirty in the paged store.
+  virtual NodeHandle Write(PageId pid) = 0;
+
+  /// Allocates a fresh (zeroed) node page and returns its id.
+  virtual PageId Allocate() = 0;
+
+  /// Frees a node page.
+  virtual void Free(PageId pid) = 0;
+
+  /// Number of pages in the backing file (for buffer sizing).
+  virtual int64_t num_pages() const = 0;
+
+ private:
+  int dims_;
+};
+
+/// Disk-backed store with I/O accounting.
+class PagedNodeStore : public NodeStore {
+ public:
+  /// `buffer_frames` is the initial LRU capacity; use
+  /// SetBufferFraction() after bulk load to size it as a % of the file.
+  PagedNodeStore(int dims, size_t buffer_frames);
+
+  NodeHandle Read(PageId pid) override;
+  NodeHandle Write(PageId pid) override;
+  PageId Allocate() override;
+  void Free(PageId pid) override;
+  int64_t num_pages() const override { return disk_.num_pages(); }
+
+  /// Sizes the buffer as `fraction` of the current file size, in pages
+  /// (fraction 0 => no caching, the paper's "0% buffer").
+  void SetBufferFraction(double fraction);
+
+  /// Flushes the buffer and zeroes the I/O counters: call between the
+  /// build phase and the measured phase.
+  void ResetCounters();
+
+  PerfCounters& counters() { return counters_; }
+  const PerfCounters& counters() const { return counters_; }
+  BufferPool& pool() { return pool_; }
+  DiskManager& disk() { return disk_; }
+
+ private:
+  DiskManager disk_;
+  PerfCounters counters_;
+  BufferPool pool_;
+};
+
+/// Main-memory store; no I/O accounting.
+class MemNodeStore : public NodeStore {
+ public:
+  explicit MemNodeStore(int dims) : NodeStore(dims) {}
+
+  NodeHandle Read(PageId pid) override;
+  NodeHandle Write(PageId pid) override;
+  PageId Allocate() override;
+  void Free(PageId pid) override;
+  int64_t num_pages() const override {
+    return static_cast<int64_t>(pages_.size());
+  }
+
+  /// Approximate resident bytes (for the memory-usage metric).
+  size_t memory_bytes() const {
+    return (pages_.size() - free_list_.size()) * sizeof(PageData);
+  }
+
+ private:
+  std::byte* BytesOf(PageId pid);
+
+  std::vector<std::unique_ptr<PageData>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_RTREE_NODE_STORE_H_

@@ -1,0 +1,382 @@
+#include "fairmatch/rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+RTree::RTree(NodeStore* store) : store_(store) {
+  root_ = store_->Allocate();
+  NodeHandle h = store_->Write(root_);
+  h.view().Init(0);
+  root_level_ = 0;
+}
+
+int RTree::MinFill(const NodeView& node) {
+  return std::max(1, node.capacity() * 40 / 100);
+}
+
+void RTree::Insert(const Point& p, ObjectId id) {
+  InsertEntry(0, MBR(p), id);
+  size_++;
+}
+
+void RTree::InsertEntry(int target_level, const MBR& emb, int32_t child) {
+  MBR root_mbr;
+  std::optional<PendingSplit> split =
+      InsertRec(root_, target_level, emb, child, &root_mbr);
+  if (split.has_value()) {
+    PageId new_root = store_->Allocate();
+    NodeHandle h = store_->Write(new_root);
+    NodeView node = h.view();
+    node.Init(root_level_ + 1);
+    node.AppendInternal(root_mbr, root_);
+    node.AppendInternal(split->mbr, split->pid);
+    root_ = new_root;
+    root_level_++;
+  }
+}
+
+std::optional<RTree::PendingSplit> RTree::InsertRec(PageId pid,
+                                                    int target_level,
+                                                    const MBR& emb,
+                                                    int32_t child,
+                                                    MBR* out_mbr) {
+  NodeHandle h = store_->Write(pid);
+  NodeView node = h.view();
+  FAIRMATCH_CHECK(node.level() >= target_level);
+  if (node.level() == target_level) {
+    if (node.count() < node.capacity()) {
+      node.AppendEntry(emb, child);
+      *out_mbr = node.ComputeMBR();
+      return std::nullopt;
+    }
+    h.Release();
+    return SplitNode(pid, emb, child, out_mbr);
+  }
+
+  // Choose the subtree needing least enlargement (ties: smaller area).
+  int best = -1;
+  double best_enlargement = std::numeric_limits<double>::max();
+  double best_area = std::numeric_limits<double>::max();
+  for (int i = 0; i < node.count(); ++i) {
+    MBR box = node.entry_mbr(i);
+    double enlargement = box.Enlargement(emb);
+    double area = box.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best = i;
+      best_enlargement = enlargement;
+      best_area = area;
+    }
+  }
+  FAIRMATCH_CHECK(best >= 0);
+  PageId child_pid = node.child(best);
+
+  MBR child_mbr;
+  std::optional<PendingSplit> split =
+      InsertRec(child_pid, target_level, emb, child, &child_mbr);
+  node.SetInternalEntry(best, child_mbr, child_pid);
+  if (split.has_value()) {
+    if (node.count() < node.capacity()) {
+      node.AppendInternal(split->mbr, split->pid);
+      *out_mbr = node.ComputeMBR();
+      return std::nullopt;
+    }
+    MBR sibling_mbr = split->mbr;
+    PageId sibling_pid = split->pid;
+    h.Release();
+    return SplitNode(pid, sibling_mbr, sibling_pid, out_mbr);
+  }
+  *out_mbr = node.ComputeMBR();
+  return std::nullopt;
+}
+
+RTree::PendingSplit RTree::SplitNode(PageId pid, const MBR& extra_mbr,
+                                     int32_t extra_child, MBR* out_mbr) {
+  std::vector<std::pair<MBR, int32_t>> entries;
+  int level;
+  {
+    NodeHandle h = store_->Read(pid);
+    NodeView node = h.view();
+    level = node.level();
+    entries.reserve(node.count() + 1);
+    for (int i = 0; i < node.count(); ++i) {
+      entries.emplace_back(node.entry_mbr(i), node.child(i));
+    }
+  }
+  entries.emplace_back(extra_mbr, extra_child);
+
+  std::vector<std::pair<MBR, int32_t>> g1;
+  std::vector<std::pair<MBR, int32_t>> g2;
+  {
+    // Compute min fill from the (level-dependent) capacity.
+    int capacity = level == 0 ? NodeView::LeafCapacity(store_->dims())
+                              : NodeView::InternalCapacity(store_->dims());
+    QuadraticSplit(entries, std::max(1, capacity * 40 / 100), &g1, &g2);
+  }
+
+  MBR mbr1 = MBR::Empty(store_->dims());
+  {
+    NodeHandle h = store_->Write(pid);
+    NodeView node = h.view();
+    node.Init(level);
+    for (const auto& [mbr, child] : g1) {
+      node.AppendEntry(mbr, child);
+      mbr1.Expand(mbr);
+    }
+  }
+
+  PageId sibling = store_->Allocate();
+  MBR mbr2 = MBR::Empty(store_->dims());
+  {
+    NodeHandle h = store_->Write(sibling);
+    NodeView node = h.view();
+    node.Init(level);
+    for (const auto& [mbr, child] : g2) {
+      node.AppendEntry(mbr, child);
+      mbr2.Expand(mbr);
+    }
+  }
+
+  *out_mbr = mbr1;
+  return PendingSplit{mbr2, sibling};
+}
+
+void QuadraticSplit(const std::vector<std::pair<MBR, int32_t>>& entries,
+                    int min_fill,
+                    std::vector<std::pair<MBR, int32_t>>* group1,
+                    std::vector<std::pair<MBR, int32_t>>* group2) {
+  const int n = static_cast<int>(entries.size());
+  FAIRMATCH_CHECK(n >= 2);
+  FAIRMATCH_CHECK(2 * min_fill <= n);
+  group1->clear();
+  group2->clear();
+
+  // PickSeeds: the pair wasting the most area.
+  int seed1 = 0;
+  int seed2 = 1;
+  double worst = -std::numeric_limits<double>::max();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      MBR cover = entries[i].first;
+      cover.Expand(entries[j].first);
+      double waste =
+          cover.Area() - entries[i].first.Area() - entries[j].first.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed1 = i;
+        seed2 = j;
+      }
+    }
+  }
+
+  std::vector<bool> assigned(n, false);
+  group1->push_back(entries[seed1]);
+  group2->push_back(entries[seed2]);
+  assigned[seed1] = assigned[seed2] = true;
+  MBR box1 = entries[seed1].first;
+  MBR box2 = entries[seed2].first;
+  int remaining = n - 2;
+
+  while (remaining > 0) {
+    // If one group must absorb the rest to reach min fill, dump.
+    if (static_cast<int>(group1->size()) + remaining ==
+        static_cast<int>(min_fill)) {
+      for (int i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group1->push_back(entries[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+    if (static_cast<int>(group2->size()) + remaining ==
+        static_cast<int>(min_fill)) {
+      for (int i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group2->push_back(entries[i]);
+          assigned[i] = true;
+        }
+      }
+      remaining = 0;
+      break;
+    }
+
+    // PickNext: max |d1 - d2|.
+    int next = -1;
+    double best_diff = -1.0;
+    double d1_best = 0.0;
+    double d2_best = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      double d1 = box1.Enlargement(entries[i].first);
+      double d2 = box2.Enlargement(entries[i].first);
+      double diff = std::abs(d1 - d2);
+      if (diff > best_diff) {
+        best_diff = diff;
+        next = i;
+        d1_best = d1;
+        d2_best = d2;
+      }
+    }
+    FAIRMATCH_CHECK(next >= 0);
+
+    bool to_first;
+    if (d1_best != d2_best) {
+      to_first = d1_best < d2_best;
+    } else if (box1.Area() != box2.Area()) {
+      to_first = box1.Area() < box2.Area();
+    } else {
+      to_first = group1->size() <= group2->size();
+    }
+    if (to_first) {
+      group1->push_back(entries[next]);
+      box1.Expand(entries[next].first);
+    } else {
+      group2->push_back(entries[next]);
+      box2.Expand(entries[next].first);
+    }
+    assigned[next] = true;
+    remaining--;
+  }
+}
+
+bool RTree::FindLeaf(PageId pid, const Point& p, ObjectId id,
+                     std::vector<std::pair<PageId, int>>* path) const {
+  NodeHandle h = store_->Read(pid);
+  NodeView node = h.view();
+  if (node.is_leaf()) {
+    for (int i = 0; i < node.count(); ++i) {
+      if (node.child(i) == id && node.leaf_point(i) == p) {
+        path->emplace_back(pid, i);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (int i = 0; i < node.count(); ++i) {
+    if (node.entry_mbr(i).Contains(p)) {
+      path->emplace_back(pid, i);
+      if (FindLeaf(node.child(i), p, id, path)) return true;
+      path->pop_back();
+    }
+  }
+  return false;
+}
+
+bool RTree::Delete(const Point& p, ObjectId id) {
+  std::vector<std::pair<PageId, int>> path;
+  if (!FindLeaf(root_, p, id, &path)) return false;
+
+  // Remove the leaf entry.
+  {
+    auto [leaf_pid, leaf_idx] = path.back();
+    NodeHandle h = store_->Write(leaf_pid);
+    h.view().RemoveEntry(leaf_idx);
+  }
+  size_--;
+
+  // Condense: walk from the leaf up. path[i].second is the index of
+  // path[i+1]'s entry within node path[i]; the last element is the leaf.
+  std::vector<ObjectRecord> reinsert;
+  for (int i = static_cast<int>(path.size()) - 1; i >= 1; --i) {
+    PageId npid = path[i].first;
+    PageId parent_pid = path[i - 1].first;
+    int idx_in_parent = path[i - 1].second;
+
+    bool underflow;
+    MBR nmbr;
+    {
+      NodeHandle h = store_->Read(npid);
+      NodeView node = h.view();
+      underflow = node.count() < MinFill(node);
+      nmbr = node.ComputeMBR();
+    }
+    NodeHandle ph = store_->Write(parent_pid);
+    if (underflow) {
+      ph.view().RemoveEntry(idx_in_parent);
+      ph.Release();
+      CollectSubtree(npid, &reinsert, /*free_pages=*/true);
+    } else {
+      ph.view().SetInternalEntry(idx_in_parent, nmbr, npid);
+    }
+  }
+
+  ShrinkRoot();
+
+  for (const ObjectRecord& rec : reinsert) {
+    InsertEntry(0, MBR(rec.point), rec.id);
+  }
+  return true;
+}
+
+void RTree::ShrinkRoot() {
+  while (true) {
+    NodeHandle h = store_->Read(root_);
+    NodeView node = h.view();
+    if (node.is_leaf()) return;
+    if (node.count() == 1) {
+      PageId child = node.child(0);
+      h.Release();
+      store_->Free(root_);
+      root_ = child;
+      root_level_--;
+      continue;
+    }
+    if (node.count() == 0) {
+      // All children were condensed away; reset to an empty leaf.
+      h.Release();
+      NodeHandle w = store_->Write(root_);
+      w.view().Init(0);
+      root_level_ = 0;
+      return;
+    }
+    return;
+  }
+}
+
+void RTree::CollectSubtree(PageId pid, std::vector<ObjectRecord>* out,
+                           bool free_pages) {
+  NodeHandle h = store_->Read(pid);
+  NodeView node = h.view();
+  if (node.is_leaf()) {
+    for (int i = 0; i < node.count(); ++i) {
+      out->push_back(ObjectRecord{node.leaf_point(i), node.child(i)});
+    }
+  } else {
+    for (int i = 0; i < node.count(); ++i) {
+      CollectSubtree(node.child(i), out, free_pages);
+    }
+  }
+  h.Release();
+  if (free_pages) store_->Free(pid);
+}
+
+std::vector<ObjectRecord> RTree::ScanAll() const {
+  std::vector<ObjectRecord> out;
+  const_cast<RTree*>(this)->CollectSubtree(root_, &out, /*free_pages=*/false);
+  return out;
+}
+
+int64_t RTree::CountNodes() const {
+  int64_t count = 0;
+  std::vector<PageId> stack{root_};
+  while (!stack.empty()) {
+    PageId pid = stack.back();
+    stack.pop_back();
+    count++;
+    NodeHandle h = store_->Read(pid);
+    NodeView node = h.view();
+    if (!node.is_leaf()) {
+      for (int i = 0; i < node.count(); ++i) stack.push_back(node.child(i));
+    }
+  }
+  return count;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,80 @@
+#include "fairmatch/skyline/bbs.h"
+
+#include <algorithm>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+void SkylineManager::ParkOrPush(Heap* heap, const SkyEntry& e) {
+  int dominator = sky_.FindDominator(e.mbr.best_corner(), e.key);
+  if (dominator >= 0) {
+    sky_.at(dominator).plist.push_back(e);
+  } else {
+    heap->push(e);
+  }
+}
+
+void SkylineManager::ProcessHeap(Heap* heap) {
+  while (!heap->empty()) {
+    peak_heap_bytes_ =
+        std::max(peak_heap_bytes_, heap->size() * sizeof(SkyEntry));
+    SkyEntry e = heap->top();
+    heap->pop();
+    // The entry may have become dominated by a member added after it
+    // was pushed.
+    int dominator = sky_.FindDominator(e.mbr.best_corner(), e.key);
+    if (dominator >= 0) {
+      sky_.at(dominator).plist.push_back(e);
+      continue;
+    }
+    if (e.is_node) {
+      NodeHandle h = tree_->ReadNode(e.id);
+      nodes_read_++;
+      if (log_reads_) read_log_.push_back(e.id);
+      NodeView node = h.view();
+      if (node.is_leaf()) {
+        for (int i = 0; i < node.count(); ++i) {
+          ParkOrPush(heap, SkyEntry::ForObject(node.leaf_point(i),
+                                               node.child(i)));
+        }
+      } else {
+        for (int i = 0; i < node.count(); ++i) {
+          ParkOrPush(heap,
+                     SkyEntry::ForNode(node.entry_mbr(i), node.child(i)));
+        }
+      }
+    } else {
+      sky_.Add(e.point(), e.id);
+    }
+  }
+}
+
+void SkylineManager::ComputeInitial() {
+  FAIRMATCH_CHECK(sky_.size() == 0);
+  if (tree_->size() == 0) return;
+  Heap heap;
+  // Seed with the root's entries (one counted read).
+  NodeHandle h = tree_->ReadNode(tree_->root());
+  nodes_read_++;
+  if (log_reads_) read_log_.push_back(tree_->root());
+  NodeView node = h.view();
+  if (node.is_leaf()) {
+    for (int i = 0; i < node.count(); ++i) {
+      ParkOrPush(&heap, SkyEntry::ForObject(node.leaf_point(i),
+                                            node.child(i)));
+    }
+  } else {
+    for (int i = 0; i < node.count(); ++i) {
+      ParkOrPush(&heap, SkyEntry::ForNode(node.entry_mbr(i), node.child(i)));
+    }
+  }
+  h.Release();
+  ProcessHeap(&heap);
+}
+
+size_t SkylineManager::memory_bytes() const {
+  return sky_.memory_bytes() + peak_heap_bytes_;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,70 @@
+// Branch-and-Bound Skyline over the R-tree (Papadias et al.), extended
+// with the paper's pruned-list bookkeeping, plus the paper's
+// I/O-optimal incremental maintenance (Algorithm 2, "UpdateSkyline").
+//
+// Invariant maintained across the entire assignment computation: every
+// R-tree entry (node or object) that is not a current skyline member and
+// has not been expanded lives in exactly one live member's plist or in
+// the processing heap. Consequently no R-tree node is ever read twice
+// (Theorem 1); tests assert this via the read log.
+#ifndef FAIRMATCH_SKYLINE_BBS_H_
+#define FAIRMATCH_SKYLINE_BBS_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "fairmatch/rtree/rtree.h"
+#include "fairmatch/skyline/skyline_set.h"
+
+namespace fairmatch {
+
+/// Maintains the skyline of the live objects in an R-tree under
+/// deletions (assignments), reading each tree node at most once.
+class SkylineManager {
+ public:
+  explicit SkylineManager(const RTree* tree) : tree_(tree) {}
+
+  /// Computes the initial skyline with BBS, parking every pruned entry
+  /// in the plist of the member that pruned it.
+  void ComputeInitial();
+
+  /// Removes assigned skyline members and restores the skyline of the
+  /// remaining objects (Algorithm 2; batch form for the multi-pair
+  /// optimization of Section 5.3).
+  void RemoveAndUpdate(const std::vector<ObjectId>& removed);
+
+  SkylineSet& skyline() { return sky_; }
+  const SkylineSet& skyline() const { return sky_; }
+
+  /// Approximate bytes held by the skyline, plists and heap.
+  size_t memory_bytes() const;
+
+  int64_t nodes_read() const { return nodes_read_; }
+
+  /// When enabled, records every node page read (Theorem 1 tests).
+  void EnableReadLog() { log_reads_ = true; }
+  const std::vector<PageId>& read_log() const { return read_log_; }
+
+ private:
+  using Heap =
+      std::priority_queue<SkyEntry, std::vector<SkyEntry>, SkyEntryWorse>;
+
+  /// Core BBS loop: drains the heap, parking dominated entries,
+  /// expanding nodes and promoting non-dominated objects.
+  void ProcessHeap(Heap* heap);
+
+  /// Routes `e` to a dominator's plist or pushes it onto the heap.
+  void ParkOrPush(Heap* heap, const SkyEntry& e);
+
+  const RTree* tree_;
+  SkylineSet sky_;
+  int64_t nodes_read_ = 0;
+  bool log_reads_ = false;
+  std::vector<PageId> read_log_;
+  size_t peak_heap_bytes_ = 0;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_SKYLINE_BBS_H_

@@ -1,0 +1,69 @@
+#include "fairmatch/skyline/mem_skyline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+MemSkyline::MemSkyline(const std::vector<Point>& points) {
+  removed_.assign(points.size(), 0);
+  // Process in descending sum order: any dominator of a point precedes
+  // it, so a single pass suffices.
+  std::vector<int> order(points.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> sums(points.size());
+  for (size_t i = 0; i < points.size(); ++i) sums[i] = points[i].Sum();
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (sums[a] != sums[b]) return sums[a] > sums[b];
+    return a < b;
+  });
+  for (int id : order) {
+    Park(SkyEntry::ForObject(points[id], id));
+  }
+}
+
+void MemSkyline::Park(const SkyEntry& e) {
+  int dominator = sky_.FindDominator(e.mbr.best_corner(), e.key);
+  if (dominator >= 0) {
+    sky_.at(dominator).plist.push_back(e);
+  } else {
+    sky_.Add(e.point(), e.id);
+  }
+}
+
+void MemSkyline::Remove(int id) {
+  FAIRMATCH_CHECK(id >= 0 && id < static_cast<int>(removed_.size()));
+  FAIRMATCH_CHECK(!removed_[id]);
+  removed_[id] = 1;
+  int slot = sky_.SlotOf(id);
+  if (slot < 0) return;  // dominated point: skipped lazily on promotion
+
+  std::vector<SkyEntry> pending = std::move(sky_.at(slot).plist);
+  sky_.at(slot).plist.clear();
+  sky_.Remove(id);
+
+  // Candidates must be re-examined in descending sum order so that
+  // promoted members precede the points they dominate.
+  std::sort(pending.begin(), pending.end(), [](const SkyEntry& a,
+                                               const SkyEntry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id < b.id;
+  });
+  for (const SkyEntry& e : pending) {
+    if (removed_[e.id]) continue;
+    Park(e);
+  }
+}
+
+std::vector<int> MemSkyline::Members() const {
+  std::vector<int> ids;
+  ids.reserve(sky_.size());
+  sky_.ForEach([&](int, const SkylineObject& member) {
+    ids.push_back(member.id);
+  });
+  return ids;
+}
+
+}  // namespace fairmatch

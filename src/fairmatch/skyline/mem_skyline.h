@@ -1,0 +1,43 @@
+// In-memory deletion-only skyline with pruned-entry parking.
+//
+// Used for the function skyline F_sky of the two-skyline prioritized
+// variant (Section 6.2): each dominated point is parked under exactly
+// one skyline member; removing a member re-examines only its parked
+// points. The same plist idea as UpdateSkyline, without an R-tree.
+#ifndef FAIRMATCH_SKYLINE_MEM_SKYLINE_H_
+#define FAIRMATCH_SKYLINE_MEM_SKYLINE_H_
+
+#include <vector>
+
+#include "fairmatch/skyline/skyline_set.h"
+
+namespace fairmatch {
+
+/// Skyline over an in-memory point set, supporting only deletions.
+class MemSkyline {
+ public:
+  /// Builds the skyline of `points` (ids = indices into `points`).
+  explicit MemSkyline(const std::vector<Point>& points);
+
+  /// Removes a point. If it is a skyline member its parked points are
+  /// re-examined (some may be promoted); otherwise it is lazily skipped
+  /// when later re-examined.
+  void Remove(int id);
+
+  bool IsSkyline(int id) const { return sky_.Contains(id); }
+
+  /// Live skyline member ids.
+  std::vector<int> Members() const;
+
+  size_t memory_bytes() const { return sky_.memory_bytes(); }
+
+ private:
+  void Park(const SkyEntry& e);
+
+  SkylineSet sky_;
+  std::vector<uint8_t> removed_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_SKYLINE_MEM_SKYLINE_H_

@@ -1,0 +1,42 @@
+// Heap/pruned-list element shared by the skyline algorithms.
+#ifndef FAIRMATCH_SKYLINE_SKY_ENTRY_H_
+#define FAIRMATCH_SKYLINE_SKY_ENTRY_H_
+
+#include <cstdint>
+
+#include "fairmatch/geom/mbr.h"
+
+namespace fairmatch {
+
+/// Either an R-tree node entry or a data object, queued for skyline
+/// processing or parked in a pruned list.
+struct SkyEntry {
+  MBR mbr;       // degenerate box for objects
+  int32_t id;    // page id (node) or object id (object)
+  bool is_node;
+  double key;    // cached mbr.BestSum(): larger = closer to the sky point
+
+  static SkyEntry ForObject(const Point& p, ObjectId id) {
+    return SkyEntry{MBR(p), id, false, p.Sum()};
+  }
+  static SkyEntry ForNode(const MBR& mbr, PageId pid) {
+    return SkyEntry{mbr, pid, true, mbr.BestSum()};
+  }
+
+  const Point& point() const { return mbr.lo(); }
+};
+
+/// Max-heap order: larger key first (closer to the sky point); at equal
+/// keys nodes expand before objects emit; final tie on ascending id.
+/// This makes BBS deterministic and safe for duplicate points.
+struct SkyEntryWorse {
+  bool operator()(const SkyEntry& a, const SkyEntry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.is_node != b.is_node) return !a.is_node;
+    return a.id > b.id;
+  }
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_SKYLINE_SKY_ENTRY_H_

@@ -1,0 +1,81 @@
+#include "fairmatch/skyline/skyline_set.h"
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+int SkylineSet::Add(const Point& p, ObjectId id) {
+  FAIRMATCH_CHECK(!by_id_.contains(id));
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<int>(slots_.size());
+    slots_.emplace_back();
+  }
+  SkylineObject& member = slots_[slot];
+  member.point = p;
+  member.id = id;
+  member.sum = p.Sum();
+  member.live = true;
+  member.plist.clear();
+  order_.emplace(std::make_pair(-member.sum, slot), slot);
+  by_id_.emplace(id, slot);
+  return slot;
+}
+
+void SkylineSet::Remove(ObjectId id) {
+  auto it = by_id_.find(id);
+  FAIRMATCH_CHECK(it != by_id_.end());
+  int slot = it->second;
+  SkylineObject& member = slots_[slot];
+  order_.erase(std::make_pair(-member.sum, slot));
+  by_id_.erase(it);
+  member.live = false;
+  member.plist.clear();
+  member.plist.shrink_to_fit();
+  free_slots_.push_back(slot);
+  if (last_pruner_ == slot) last_pruner_ = -1;
+}
+
+int SkylineSet::SlotOf(ObjectId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? -1 : it->second;
+}
+
+int SkylineSet::FindDominator(const Point& corner, double corner_sum) {
+  if (last_pruner_ >= 0 && slots_[last_pruner_].live &&
+      slots_[last_pruner_].point.Dominates(corner)) {
+    return last_pruner_;
+  }
+  // A strict dominator has a strictly larger coordinate sum, so only the
+  // prefix of the descending-sum order needs scanning.
+  for (const auto& [key, slot] : order_) {
+    double sum = -key.first;
+    if (sum <= corner_sum) break;
+    if (slots_[slot].point.Dominates(corner)) {
+      last_pruner_ = slot;
+      return slot;
+    }
+  }
+  return -1;
+}
+
+std::vector<int> SkylineSet::LiveSlots() const {
+  std::vector<int> live;
+  live.reserve(order_.size());
+  for (const auto& [key, slot] : order_) live.push_back(slot);
+  return live;
+}
+
+size_t SkylineSet::memory_bytes() const {
+  size_t bytes = slots_.capacity() * sizeof(SkylineObject) +
+                 order_.size() * 48 + by_id_.size() * 24;
+  for (const SkylineObject& member : slots_) {
+    bytes += member.plist.capacity() * sizeof(SkyEntry);
+  }
+  return bytes;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,79 @@
+// Container for the current skyline with fast dominance queries.
+//
+// Members are kept indexed by descending coordinate sum, which allows
+// dominance probes to stop early: a strict dominator of a point must
+// have a strictly larger sum. A "last successful pruner" cache
+// accelerates the common case of spatially clustered probes.
+#ifndef FAIRMATCH_SKYLINE_SKYLINE_SET_H_
+#define FAIRMATCH_SKYLINE_SKYLINE_SET_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fairmatch/skyline/sky_entry.h"
+
+namespace fairmatch {
+
+/// One skyline member and the entries it exclusively prunes.
+struct SkylineObject {
+  Point point;
+  ObjectId id = kInvalidObject;
+  double sum = 0.0;
+  bool live = false;
+  /// Pruned list (Section 5.2): entries dominated by this member and by
+  /// no earlier-checked live member.
+  std::vector<SkyEntry> plist;
+};
+
+/// The set of current skyline members.
+class SkylineSet {
+ public:
+  SkylineSet() = default;
+
+  /// Adds a member; returns its slot.
+  int Add(const Point& p, ObjectId id);
+
+  /// Removes a member. The caller is responsible for draining its plist
+  /// first (or accepting its loss).
+  void Remove(ObjectId id);
+
+  bool Contains(ObjectId id) const { return by_id_.contains(id); }
+  int SlotOf(ObjectId id) const;
+
+  SkylineObject& at(int slot) { return slots_[slot]; }
+  const SkylineObject& at(int slot) const { return slots_[slot]; }
+
+  /// Slot of a live member strictly dominating `corner` (sum-pruned
+  /// scan), or -1. `corner_sum` must equal corner.Sum().
+  int FindDominator(const Point& corner, double corner_sum);
+
+  size_t size() const { return by_id_.size(); }
+
+  /// Invokes fn(slot, member) for every live member.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, slot] : order_) {
+      fn(slot, slots_[slot]);
+    }
+  }
+
+  /// Live member slots (descending sum order).
+  std::vector<int> LiveSlots() const;
+
+  /// Approximate bytes held by members, plists and indexes (the paper's
+  /// memory-usage metric for SB's search structures).
+  size_t memory_bytes() const;
+
+ private:
+  std::vector<SkylineObject> slots_;
+  std::vector<int> free_slots_;
+  // (-sum, slot) -> slot: ascending on -sum = descending on sum.
+  std::map<std::pair<double, int>, int> order_;
+  std::unordered_map<ObjectId, int> by_id_;
+  int last_pruner_ = -1;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_SKYLINE_SKYLINE_SET_H_

@@ -1,0 +1,39 @@
+// Incremental skyline maintenance (paper Algorithm 2).
+#include <utility>
+
+#include "fairmatch/common/check.h"
+#include "fairmatch/skyline/bbs.h"
+
+namespace fairmatch {
+
+void SkylineManager::RemoveAndUpdate(const std::vector<ObjectId>& removed) {
+  if (removed.empty()) return;
+
+  // Phase 1: detach every removed member, collecting their plists.
+  // All removals happen before any re-parking so that entries dominated
+  // only by removed members are re-examined rather than re-parked under
+  // a member that is about to disappear.
+  std::vector<SkyEntry> pending;
+  for (ObjectId id : removed) {
+    int slot = sky_.SlotOf(id);
+    FAIRMATCH_CHECK(slot >= 0);
+    std::vector<SkyEntry>& plist = sky_.at(slot).plist;
+    pending.insert(pending.end(), std::make_move_iterator(plist.begin()),
+                   std::make_move_iterator(plist.end()));
+    plist.clear();
+    sky_.Remove(id);
+  }
+
+  // Phase 2: re-park entries still dominated by a surviving member; the
+  // rest fall in the union of the removed members' exclusive dominance
+  // regions and form the candidate set S_cand.
+  Heap candidates;
+  for (const SkyEntry& e : pending) {
+    ParkOrPush(&candidates, e);
+  }
+
+  // Phase 3: resume BBS over S_cand (Algorithm 2's ResumeSkyline).
+  ProcessHeap(&candidates);
+}
+
+}  // namespace fairmatch

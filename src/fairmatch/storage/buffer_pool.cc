@@ -1,0 +1,159 @@
+#include "fairmatch/storage/buffer_pool.h"
+
+#include <utility>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+PageHandle::PageHandle(BufferPool* pool, PageId pid, std::byte* bytes)
+    : pool_(pool), pid_(pid), bytes_(bytes) {}
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), pid_(other.pid_), bytes_(other.bytes_) {
+  other.pool_ = nullptr;
+  other.bytes_ = nullptr;
+  other.pid_ = kInvalidPage;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    pid_ = other.pid_;
+    bytes_ = other.bytes_;
+    other.pool_ = nullptr;
+    other.bytes_ = nullptr;
+    other.pid_ = kInvalidPage;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(pid_, /*dirty=*/false);
+    pool_ = nullptr;
+    bytes_ = nullptr;
+    pid_ = kInvalidPage;
+  }
+}
+
+std::byte* PageHandle::mutable_bytes() {
+  FAIRMATCH_CHECK(pool_ != nullptr);
+  auto it = pool_->frames_.find(pid_);
+  FAIRMATCH_CHECK(it != pool_->frames_.end());
+  it->second.dirty = true;
+  return bytes_;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_frames,
+                       PerfCounters* counters)
+    : disk_(disk), capacity_(capacity_frames), counters_(counters) {}
+
+BufferPool::~BufferPool() {
+  // Intentionally no flush: dropping a pool discards counted state only;
+  // the simulated disk already holds the last flushed content. Callers
+  // that care about persistence call FlushAll() explicitly.
+}
+
+PageHandle BufferPool::FetchPage(PageId pid) {
+  counters_->logical_reads++;
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    counters_->buffer_hits++;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    frame.pin_count++;
+    return PageHandle(this, pid, frame.data->bytes);
+  }
+  // Miss: physical read.
+  counters_->page_reads++;
+  Frame frame;
+  frame.data = std::make_unique<PageData>();
+  disk_->ReadPage(pid, frame.data->bytes);
+  frame.pin_count = 1;
+  auto [ins, ok] = frames_.emplace(pid, std::move(frame));
+  FAIRMATCH_CHECK(ok);
+  EvictIfNeeded();
+  return PageHandle(this, pid, ins->second.data->bytes);
+}
+
+PageHandle BufferPool::NewPage() {
+  PageId pid = disk_->AllocatePage();
+  Frame frame;
+  frame.data = std::make_unique<PageData>();
+  std::memset(frame.data->bytes, 0, kPageSize);
+  frame.pin_count = 1;
+  frame.dirty = true;
+  auto [ins, ok] = frames_.emplace(pid, std::move(frame));
+  FAIRMATCH_CHECK(ok);
+  EvictIfNeeded();
+  return PageHandle(this, pid, ins->second.data->bytes);
+}
+
+void BufferPool::DeletePage(PageId pid) {
+  auto it = frames_.find(pid);
+  if (it != frames_.end()) {
+    FAIRMATCH_CHECK(it->second.pin_count == 0);
+    if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+  }
+  disk_->FreePage(pid);
+}
+
+void BufferPool::FlushAll() {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    FAIRMATCH_CHECK(it->second.pin_count == 0);
+    FlushFrame(it->first, it->second);
+    if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+    it = frames_.erase(it);
+  }
+  lru_.clear();
+}
+
+void BufferPool::set_capacity(size_t capacity_frames) {
+  capacity_ = capacity_frames;
+  EvictIfNeeded();
+}
+
+void BufferPool::Unpin(PageId pid, bool dirty) {
+  auto it = frames_.find(pid);
+  FAIRMATCH_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  FAIRMATCH_CHECK(frame.pin_count > 0);
+  frame.pin_count--;
+  if (dirty) frame.dirty = true;
+  if (frame.pin_count == 0) {
+    frame.lru_pos = lru_.insert(lru_.end(), pid);
+    frame.in_lru = true;
+    EvictIfNeeded();
+  }
+}
+
+void BufferPool::EvictIfNeeded() {
+  while (frames_.size() > capacity_ && !lru_.empty()) {
+    PageId victim = lru_.front();
+    lru_.pop_front();
+    auto it = frames_.find(victim);
+    FAIRMATCH_CHECK(it != frames_.end());
+    FAIRMATCH_CHECK(it->second.pin_count == 0);
+    it->second.in_lru = false;
+    FlushFrame(victim, it->second);
+    frames_.erase(it);
+  }
+}
+
+void BufferPool::FlushFrame(PageId pid, Frame& frame) {
+  if (frame.dirty) {
+    counters_->page_writes++;
+    disk_->WritePage(pid, frame.data->bytes);
+    frame.dirty = false;
+  }
+}
+
+}  // namespace fairmatch

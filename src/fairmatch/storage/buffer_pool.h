@@ -1,0 +1,117 @@
+// LRU buffer pool over the simulated disk, with pin/unpin semantics and
+// exact I/O accounting.
+//
+// Every page access goes through FetchPage(). A miss costs one physical
+// read (PerfCounters::page_reads); evicting a dirty frame costs one
+// physical write. A capacity of zero frames models the paper's "0%
+// buffer" configuration: pages stay resident only while pinned and every
+// fetch is a miss.
+#ifndef FAIRMATCH_STORAGE_BUFFER_POOL_H_
+#define FAIRMATCH_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "fairmatch/common/stats.h"
+#include "fairmatch/common/types.h"
+#include "fairmatch/storage/disk_manager.h"
+
+namespace fairmatch {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While alive, the page bytes stay valid.
+/// Movable, not copyable.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, PageId pid, std::byte* bytes);
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  /// Releases the pin early.
+  void Release();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return pid_; }
+  const std::byte* bytes() const { return bytes_; }
+
+  /// Mutable access; marks the frame dirty.
+  std::byte* mutable_bytes();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId pid_ = kInvalidPage;
+  std::byte* bytes_ = nullptr;
+};
+
+/// LRU replacement buffer pool. Frames above capacity are tolerated while
+/// pinned (a path of pinned pages may exceed a tiny buffer); they are
+/// evicted as soon as they are unpinned.
+class BufferPool {
+ public:
+  /// `capacity_frames` may be 0 (no caching). `counters` must outlive
+  /// the pool.
+  BufferPool(DiskManager* disk, size_t capacity_frames,
+             PerfCounters* counters);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page and returns a handle to its bytes.
+  PageHandle FetchPage(PageId pid);
+
+  /// Allocates a fresh page on disk, pins it, and marks it dirty.
+  /// The initial write is counted when the frame is flushed.
+  PageHandle NewPage();
+
+  /// Drops the page from the buffer (without flushing) and frees it on
+  /// disk. The page must not be pinned.
+  void DeletePage(PageId pid);
+
+  /// Flushes all dirty frames (counting writes) and drops clean frames.
+  void FlushAll();
+
+  /// Changes the capacity; evicts immediately if shrinking.
+  void set_capacity(size_t capacity_frames);
+  size_t capacity() const { return capacity_; }
+
+  PerfCounters* counters() { return counters_; }
+  DiskManager* disk() { return disk_; }
+
+  /// Number of frames currently resident (diagnostics/tests).
+  size_t resident_frames() const { return frames_.size(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    std::unique_ptr<PageData> data;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when pin_count == 0; lru_.end() otherwise.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId pid, bool dirty);
+  void EvictIfNeeded();
+  void FlushFrame(PageId pid, Frame& frame);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  PerfCounters* counters_;
+  std::unordered_map<PageId, Frame> frames_;
+  // Unpinned frames in LRU order (front = least recently used).
+  std::list<PageId> lru_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,34 @@
+#include "fairmatch/storage/disk_manager.h"
+
+namespace fairmatch {
+
+PageId DiskManager::AllocatePage() {
+  if (!free_list_.empty()) {
+    PageId pid = free_list_.back();
+    free_list_.pop_back();
+    pages_[pid] = std::make_unique<PageData>();
+    std::memset(pages_[pid]->bytes, 0, kPageSize);
+    return pid;
+  }
+  pages_.push_back(std::make_unique<PageData>());
+  std::memset(pages_.back()->bytes, 0, kPageSize);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void DiskManager::FreePage(PageId pid) {
+  FAIRMATCH_CHECK(IsLive(pid));
+  pages_[pid].reset();
+  free_list_.push_back(pid);
+}
+
+void DiskManager::ReadPage(PageId pid, std::byte* dst) const {
+  FAIRMATCH_CHECK(IsLive(pid));
+  std::memcpy(dst, pages_[pid]->bytes, kPageSize);
+}
+
+void DiskManager::WritePage(PageId pid, const std::byte* src) {
+  FAIRMATCH_CHECK(IsLive(pid));
+  std::memcpy(pages_[pid]->bytes, src, kPageSize);
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,70 @@
+// Simulated disk: a collection of 4 KB pages held in memory.
+//
+// The paper's experiments measure I/O as *counted page accesses* against
+// an R-tree with 4 KB pages behind an LRU buffer. We therefore simulate
+// the disk in-process: pages are real byte blocks (data structures
+// serialize into them), and every physical read/write is counted by the
+// buffer pool that owns this disk. See DESIGN.md "Substitutions".
+#ifndef FAIRMATCH_STORAGE_DISK_MANAGER_H_
+#define FAIRMATCH_STORAGE_DISK_MANAGER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "fairmatch/common/check.h"
+#include "fairmatch/common/types.h"
+
+namespace fairmatch {
+
+/// Raw content of one disk page.
+struct PageData {
+  std::byte bytes[kPageSize];
+};
+
+/// Allocates, frees and transfers fixed-size pages. Not thread-safe; all
+/// fairmatch algorithms are single-threaded like the paper's.
+class DiskManager {
+ public:
+  DiskManager() = default;
+
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Allocates a zeroed page and returns its id. Reuses freed pages.
+  PageId AllocatePage();
+
+  /// Returns a page to the free list. The page id may be recycled.
+  void FreePage(PageId pid);
+
+  /// Copies the page content into `dst` (kPageSize bytes).
+  void ReadPage(PageId pid, std::byte* dst) const;
+
+  /// Copies `src` (kPageSize bytes) into the page.
+  void WritePage(PageId pid, const std::byte* src);
+
+  /// Number of pages ever allocated (capacity of the simulated file,
+  /// including freed pages). Used to size buffers as a % of the file.
+  int64_t num_pages() const { return static_cast<int64_t>(pages_.size()); }
+
+  /// Number of currently live (allocated, not freed) pages.
+  int64_t num_live_pages() const {
+    return num_pages() - static_cast<int64_t>(free_list_.size());
+  }
+
+  /// File size in bytes.
+  int64_t size_bytes() const { return num_pages() * kPageSize; }
+
+ private:
+  bool IsLive(PageId pid) const {
+    return pid >= 0 && pid < num_pages() && pages_[pid] != nullptr;
+  }
+
+  std::vector<std::unique_ptr<PageData>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_STORAGE_DISK_MANAGER_H_

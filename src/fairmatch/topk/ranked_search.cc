@@ -1,0 +1,42 @@
+#include "fairmatch/topk/ranked_search.h"
+
+namespace fairmatch {
+
+RankedSearch::RankedSearch(const RTree* tree, const PrefFunction* fn)
+    : tree_(tree), fn_(fn) {}
+
+std::optional<RankedHit> RankedSearch::Next(
+    const std::vector<uint8_t>* alive) {
+  if (!started_) {
+    started_ = true;
+    heap_.push(HeapEntry{/*score=*/0.0, /*is_node=*/true, tree_->root(),
+                         Point()});
+    // Score of the root does not matter: it is the only entry.
+  }
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    if (!top.is_node) {
+      if (alive != nullptr && !(*alive)[top.id]) continue;
+      return RankedHit{top.id, top.score, top.point};
+    }
+    NodeHandle h = tree_->ReadNode(top.id);
+    NodeView node = h.view();
+    if (node.is_leaf()) {
+      for (int i = 0; i < node.count(); ++i) {
+        Point p = node.leaf_point(i);
+        double score = leaf_scorer_ ? leaf_scorer_(node.child(i), p)
+                                    : fn_->Score(p);
+        heap_.push(HeapEntry{score, false, node.child(i), p});
+      }
+    } else {
+      for (int i = 0; i < node.count(); ++i) {
+        heap_.push(HeapEntry{fn_->MaxScore(node.entry_mbr(i)), true,
+                             node.child(i), Point()});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,165 @@
+#include "fairmatch/topk/reverse_top1.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+namespace {
+// The knapsack threshold accumulates products in a different order than
+// PrefFunction::Score, so the two can disagree by a few ulps. The bound
+// must stay an upper bound of every unseen score, so termination demands
+// strictly exceeding it by this slack (far above accumulated rounding,
+// far below any genuine score gap); ties keep scanning, which also makes
+// the smallest-id tie winner reachable.
+constexpr double kBoundSlack = 1e-9;
+}  // namespace
+
+ReverseTop1::ReverseTop1(FunctionIndexBase* index, ReverseTop1Options options)
+    : index_(index), options_(options) {
+  omega_cap_ = std::max(
+      1, static_cast<int>(std::llround(options_.omega * index_->size())));
+  raw_lists_.resize(index_->dims());
+  for (int d = 0; d < index_->dims(); ++d) {
+    raw_lists_[d] = index_->RawList(d);
+  }
+}
+
+void ReverseTop1::Reset(ReverseTop1State* state, const Point& o) const {
+  const int dims = index_->dims();
+  state->positions_.assign(dims, 0);
+  state->queue_.clear();
+  state->seen_.assign((index_->size() + 63) / 64, 0);
+  state->seen_count_ = 0;
+  state->omega_left_ = omega_cap_;
+  state->round_robin_next_ = 0;
+  state->dim_order_.resize(dims);
+  for (int d = 0; d < dims; ++d) state->dim_order_[d] = d;
+  std::sort(state->dim_order_.begin(), state->dim_order_.end(),
+            [&](int a, int b) {
+              if (o[a] != o[b]) return o[a] > o[b];
+              return a < b;
+            });
+  state->initialized = true;
+}
+
+double ReverseTop1::TightThreshold(const ReverseTop1State& state,
+                                   const Point& o) {
+  // An unseen function must appear at or below the current position in
+  // every list, so its coefficient in dim d is bounded by the next
+  // unread value l_d. Maximize sum beta_d * o_d subject to beta_d <= l_d
+  // and sum beta_d = B (fractional knapsack, Section 5.1).
+  const int n = index_->size();
+  double budget = index_->max_gamma();
+  double threshold = 0.0;
+  for (int d : state.dim_order_) {
+    if (budget <= 0.0) break;
+    int pos = state.positions_[d];
+    // Exhausted list: every function was seen there; no unseen function
+    // exists, so the threshold over unseen functions is -infinity.
+    if (pos >= n) return -1.0;
+    double l = EntryAt(d, pos).first;
+    double beta = std::min(budget, l);
+    threshold += beta * o[d];
+    budget -= beta;
+  }
+  return threshold;
+}
+
+int ReverseTop1::PickList(const ReverseTop1State& state, const Point& o) {
+  const int dims = index_->dims();
+  const int n = index_->size();
+  if (!options_.biased_probing) {
+    // Round-robin over non-exhausted lists.
+    for (int step = 0; step < dims; ++step) {
+      int d = (state.round_robin_next_ + step) % dims;
+      if (state.positions_[d] < n) return d;
+    }
+    return -1;
+  }
+  int best = -1;
+  double best_gain = -1.0;
+  for (int d = 0; d < dims; ++d) {
+    int pos = state.positions_[d];
+    if (pos >= n) continue;
+    double gain = EntryAt(d, pos).first * o[d];
+    if (gain > best_gain) {
+      best_gain = gain;
+      best = d;
+    }
+  }
+  return best;
+}
+
+std::optional<std::pair<FunctionId, double>> ReverseTop1::Best(
+    ReverseTop1State* state, const Point& o,
+    const std::vector<uint8_t>& assigned) {
+  if (!state->initialized || !options_.resume) Reset(state, o);
+
+  while (true) {
+    // Drop candidates that were assigned to other objects since the last
+    // call; each pop reduces the queue's remaining guarantee (Omega).
+    while (!state->queue_.empty() && assigned[state->queue_.front().fid]) {
+      state->queue_.erase(state->queue_.begin());
+      state->omega_left_--;
+    }
+    if (state->omega_left_ <= 0) {
+      // The capped queue can no longer guarantee the maximum: restart.
+      restarts_++;
+      Reset(state, o);
+      continue;
+    }
+
+    // Terminate if the best candidate already beats the tight threshold
+    // for every unseen function.
+    if (!state->queue_.empty()) {
+      double threshold = TightThreshold(*state, o);
+      const auto& top = state->queue_.front();
+      if (top.score > threshold + kBoundSlack) {
+        return std::make_pair(top.fid, top.score);
+      }
+    }
+
+    int d = PickList(*state, o);
+    if (d < 0) {
+      // All lists exhausted: every function has been seen. The queue
+      // holds the best unassigned candidates unless eviction lost them.
+      if (!state->queue_.empty()) {
+        const auto& top = state->queue_.front();
+        return std::make_pair(top.fid, top.score);
+      }
+      // Queue starved by eviction: restart unless F is fully assigned.
+      bool any_unassigned =
+          std::any_of(assigned.begin(), assigned.end(),
+                      [](uint8_t a) { return a == 0; });
+      if (!any_unassigned) return std::nullopt;
+      restarts_++;
+      Reset(state, o);
+      continue;
+    }
+
+    // Probe one entry of list d.
+    int pos = state->positions_[d]++;
+    state->round_robin_next_ = (d + 1) % index_->dims();
+    probes_++;
+    FunctionId fid = EntryAt(d, pos).second;
+    if (state->Seen(fid)) continue;
+    state->MarkSeen(fid);
+    if (assigned[fid]) continue;
+    // "Random accesses" to the other lists: fetch the function's
+    // remaining coefficients and compute its aggregate score.
+    double score = index_->ScoreOf(fid, o);
+    // Keep only the top-Omega candidates (Section 5.1 memory bound).
+    ReverseTop1State::QueueItem item{score, fid};
+    auto pos_it = std::lower_bound(state->queue_.begin(),
+                                   state->queue_.end(), item);
+    state->queue_.insert(pos_it, item);
+    if (static_cast<int>(state->queue_.size()) > state->omega_left_) {
+      state->queue_.pop_back();
+    }
+  }
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,132 @@
+// Reverse top-1 search: the best *function* for a given object
+// (Section 5.1). An adaptation of the Threshold Algorithm [Fagin et al.]
+// over the per-dimension sorted coefficient lists, with three paper
+// optimizations:
+//
+//  * T_tight — the termination threshold is computed by solving a
+//    fractional-knapsack problem over the frontier list values, so it
+//    respects the coefficient normalization sum_i beta_i = B
+//    (B = max gamma; 1 for normalized functions).
+//  * biased probing — instead of round-robin, the next probe goes to the
+//    list maximizing l_i * o_i, greedily shrinking the threshold.
+//  * resumable, capacity-bounded state — each object keeps the TA scan
+//    positions and a top-Omega candidate queue; when its current best
+//    function is assigned to another object, the search resumes instead
+//    of restarting. Omega decreases on every queue pop; at zero the
+//    search restarts from scratch (the omega trade-off of Section 5.1).
+#ifndef FAIRMATCH_TOPK_REVERSE_TOP1_H_
+#define FAIRMATCH_TOPK_REVERSE_TOP1_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fairmatch/common/preference.h"
+#include "fairmatch/topk/function_lists.h"
+
+namespace fairmatch {
+
+/// Tuning knobs for the reverse top-1 search.
+struct ReverseTop1Options {
+  /// Queue capacity fraction: Omega = omega * |F| (paper default 2.5%).
+  double omega = 0.025;
+  /// Biased list probing (Section 5.1); false = classic round-robin.
+  bool biased_probing = true;
+  /// Resume searches across calls; false = restart every time (used by
+  /// the ablation bench).
+  bool resume = true;
+};
+
+/// Per-object resumable TA state. Owned by the caller (one per skyline
+/// object); opaque except for memory accounting.
+class ReverseTop1State {
+ public:
+  ReverseTop1State() = default;
+
+  /// Approximate bytes held (memory-usage metric).
+  size_t memory_bytes() const {
+    return sizeof(*this) + positions_.capacity() * sizeof(int) +
+           dim_order_.capacity() * sizeof(int) +
+           queue_.size() * (sizeof(QueueItem) + 32) +
+           seen_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  friend class ReverseTop1;
+
+  // Candidate queue item: (score, fid), ordered best-first.
+  struct QueueItem {
+    double score;
+    FunctionId fid;
+    bool operator<(const QueueItem& other) const {
+      if (score != other.score) return score > other.score;
+      return fid < other.fid;
+    }
+  };
+
+  bool initialized = false;
+  std::vector<int> positions_;     // next unread index per list
+  std::vector<int> dim_order_;     // dims sorted by o[d] descending
+  // Top candidates, kept sorted best-first; capacity-bounded by Omega,
+  // so a flat sorted vector beats a node-based set.
+  std::vector<QueueItem> queue_;
+  std::vector<uint64_t> seen_;     // bitmap over function ids
+  size_t seen_count_ = 0;
+  int omega_left_ = 0;
+  int round_robin_next_ = 0;
+
+  bool Seen(FunctionId fid) const {
+    return (seen_[static_cast<size_t>(fid) >> 6] >> (fid & 63)) & 1;
+  }
+  void MarkSeen(FunctionId fid) {
+    seen_[static_cast<size_t>(fid) >> 6] |= uint64_t{1} << (fid & 63);
+    seen_count_++;
+  }
+};
+
+/// Reverse top-1 searcher over one function index.
+class ReverseTop1 {
+ public:
+  ReverseTop1(FunctionIndexBase* index, ReverseTop1Options options);
+
+  /// Returns the unassigned function maximizing f(o) (ties: smaller id),
+  /// or nullopt if every function is assigned. `assigned[fid]` nonzero
+  /// marks assigned functions. The state resumes from previous calls
+  /// for the same object.
+  std::optional<std::pair<FunctionId, double>> Best(
+      ReverseTop1State* state, const Point& o,
+      const std::vector<uint8_t>& assigned);
+
+  /// Number of list probes performed (diagnostics / ablation).
+  int64_t probes() const { return probes_; }
+  /// Number of from-scratch restarts triggered by Omega exhaustion.
+  int64_t restarts() const { return restarts_; }
+
+ private:
+  void Reset(ReverseTop1State* state, const Point& o) const;
+
+  /// Fractional-knapsack threshold over the next-unread list values
+  /// (upper bound of f(o) for any function not yet seen in any list).
+  /// Returns a negative value when all lists are exhausted.
+  double TightThreshold(const ReverseTop1State& state, const Point& o);
+
+  /// Picks the list to probe next; -1 when all lists are exhausted.
+  int PickList(const ReverseTop1State& state, const Point& o);
+
+  /// Entry accessor: raw array when available, virtual call otherwise.
+  std::pair<double, FunctionId> EntryAt(int dim, int pos) {
+    const auto* raw = raw_lists_[dim];
+    return raw != nullptr ? raw[pos] : index_->Entry(dim, pos);
+  }
+
+  FunctionIndexBase* index_;
+  ReverseTop1Options options_;
+  std::vector<const std::pair<double, FunctionId>*> raw_lists_;
+  int omega_cap_;
+  int64_t probes_ = 0;
+  int64_t restarts_ = 0;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_TOPK_REVERSE_TOP1_H_

@@ -1,0 +1,143 @@
+// Unit tests for the mutual-best pair engine and for the rounded-up
+// function R-tree scoring used by Chain.
+#include <gtest/gtest.h>
+
+#include "fairmatch/assign/best_pair.h"
+#include "fairmatch/common/float_util.h"
+#include "fairmatch/common/rng.h"
+#include "fairmatch/data/synthetic.h"
+#include "fairmatch/rtree/node_store.h"
+#include "fairmatch/rtree/rtree.h"
+#include "fairmatch/topk/ranked_search.h"
+
+namespace fairmatch {
+namespace {
+
+Point P2(float x, float y) {
+  Point p(2);
+  p[0] = x;
+  p[1] = y;
+  return p;
+}
+
+FunctionSet TwoFunctions() {
+  FunctionSet fns(2);
+  fns[0] = PrefFunction{0, 2, {0.9, 0.1}, 1.0, 1};
+  fns[1] = PrefFunction{1, 2, {0.1, 0.9}, 1.0, 1};
+  return fns;
+}
+
+TEST(BestPairEngineTest, MutualPairDetected) {
+  FunctionSet fns = TwoFunctions();
+  BestPairEngine engine(&fns);
+  Point a = P2(0.9f, 0.1f);  // best for f0
+  Point b = P2(0.1f, 0.9f);  // best for f1
+  std::vector<MemberCandidate> members{
+      {0, &a, 0, fns[0].Score(a)},
+      {1, &b, 1, fns[1].Score(b)},
+  };
+  auto pairs = engine.FindMutualPairs(members, {0, 1});
+  ASSERT_EQ(pairs.size(), 2u);
+}
+
+TEST(BestPairEngineTest, NonMutualCandidateNotEmitted) {
+  FunctionSet fns = TwoFunctions();
+  BestPairEngine engine(&fns);
+  Point a = P2(0.9f, 0.2f);
+  Point b = P2(0.8f, 0.1f);  // also names f0 but scores lower
+  std::vector<MemberCandidate> members{
+      {0, &a, 0, fns[0].Score(a)},
+      {1, &b, 0, fns[0].Score(b)},
+  };
+  auto pairs = engine.FindMutualPairs(members, {0, 1});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].oid, 0);
+  EXPECT_EQ(pairs[0].fid, 0);
+}
+
+TEST(BestPairEngineTest, CacheUpdatesWithNewMembers) {
+  FunctionSet fns = TwoFunctions();
+  BestPairEngine engine(&fns);
+  Point a = P2(0.7f, 0.1f);
+  std::vector<MemberCandidate> members{{0, &a, 0, fns[0].Score(a)}};
+  auto pairs = engine.FindMutualPairs(members, {0});
+  ASSERT_EQ(pairs.size(), 1u);
+
+  // A better object for f0 joins the skyline: the cached obest must be
+  // displaced, so the old member no longer forms a mutual pair.
+  Point better = P2(0.95f, 0.2f);
+  std::vector<MemberCandidate> members2{
+      {0, &a, 0, fns[0].Score(a)},
+      {7, &better, 0, fns[0].Score(better)},
+  };
+  auto pairs2 = engine.FindMutualPairs(members2, {7});
+  ASSERT_EQ(pairs2.size(), 1u);
+  EXPECT_EQ(pairs2[0].oid, 7);
+}
+
+TEST(BestPairEngineTest, RemovedObjectInvalidatesCache) {
+  FunctionSet fns = TwoFunctions();
+  BestPairEngine engine(&fns);
+  Point a = P2(0.9f, 0.1f);
+  Point b = P2(0.7f, 0.1f);
+  std::vector<MemberCandidate> members{
+      {0, &a, 0, fns[0].Score(a)},
+      {1, &b, 0, fns[0].Score(b)},
+  };
+  auto pairs = engine.FindMutualPairs(members, {0, 1});
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].oid, 0);
+
+  engine.OnObjectsRemoved({0});
+  std::vector<MemberCandidate> members2{{1, &b, 0, fns[0].Score(b)}};
+  auto pairs2 = engine.FindMutualPairs(members2, {});
+  ASSERT_EQ(pairs2.size(), 1u);
+  EXPECT_EQ(pairs2[0].oid, 1);  // full rescan found the survivor
+}
+
+// Chain's function R-tree stores FloatUp-rounded effective coefficients
+// as coordinates. Property: with exact leaf rescoring the search still
+// returns the exact argmax function, for random objects and priorities.
+TEST(FunctionTreeSearchTest, FloatUpCoordinatesPreserveExactOrder) {
+  Rng rng(99);
+  FunctionSet fns = GenerateFunctions(600, 4, &rng);
+  AssignPriorities(&fns, 8, &rng);
+  MemNodeStore store(4);
+  RTree ftree(&store);
+  std::vector<ObjectRecord> records;
+  for (const PrefFunction& f : fns) {
+    Point w(4);
+    for (int d = 0; d < 4; ++d) w[d] = FloatUp(f.eff(d));
+    records.push_back({w, f.id});
+  }
+  ftree.BulkLoad(records);
+
+  auto points = GeneratePoints(Distribution::kIndependent, 200, 4, &rng);
+  for (const Point& o : points) {
+    // Exhaustive argmax (score desc, fid asc).
+    FunctionId best = kInvalidFunction;
+    double best_s = 0.0;
+    for (const PrefFunction& f : fns) {
+      double s = f.Score(o);
+      if (best == kInvalidFunction || s > best_s ||
+          (s == best_s && f.id < best)) {
+        best = f.id;
+        best_s = s;
+      }
+    }
+    PrefFunction pseudo;
+    pseudo.id = 0;
+    pseudo.dims = 4;
+    for (int d = 0; d < 4; ++d) pseudo.alpha[d] = o[d];
+    RankedSearch search(&ftree, &pseudo);
+    search.set_leaf_scorer(
+        [&](ObjectId fid, const Point&) { return fns[fid].Score(o); });
+    auto hit = search.Next();
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->id, best);
+    EXPECT_DOUBLE_EQ(hit->score, best_s);
+  }
+}
+
+}  // namespace
+}  // namespace fairmatch

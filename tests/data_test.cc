@@ -1,0 +1,188 @@
+// Tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairmatch/data/real_sim.h"
+#include "fairmatch/data/synthetic.h"
+
+namespace fairmatch {
+namespace {
+
+double PairwiseDimCorrelation(const std::vector<Point>& points) {
+  // Average Pearson correlation between dimension 0 and the others.
+  const int dims = points[0].dims();
+  const int n = static_cast<int>(points.size());
+  std::vector<double> mean(dims, 0.0);
+  for (const Point& p : points) {
+    for (int d = 0; d < dims; ++d) mean[d] += p[d];
+  }
+  for (int d = 0; d < dims; ++d) mean[d] /= n;
+  double total = 0.0;
+  int count = 0;
+  for (int d = 1; d < dims; ++d) {
+    double cov = 0.0, var0 = 0.0, vard = 0.0;
+    for (const Point& p : points) {
+      double a = p[0] - mean[0];
+      double b = p[d] - mean[d];
+      cov += a * b;
+      var0 += a * a;
+      vard += b * b;
+    }
+    total += cov / std::sqrt(var0 * vard + 1e-12);
+    count++;
+  }
+  return total / count;
+}
+
+TEST(SyntheticTest, PointsInUnitCube) {
+  Rng rng(1);
+  for (auto dist : {Distribution::kIndependent, Distribution::kCorrelated,
+                    Distribution::kAntiCorrelated}) {
+    auto points = GeneratePoints(dist, 2000, 4, &rng);
+    ASSERT_EQ(points.size(), 2000u);
+    for (const Point& p : points) {
+      for (int d = 0; d < 4; ++d) {
+        EXPECT_GE(p[d], 0.0f);
+        EXPECT_LE(p[d], 1.0f);
+      }
+    }
+  }
+}
+
+TEST(SyntheticTest, CorrelationSigns) {
+  Rng rng(2);
+  auto indep = GeneratePoints(Distribution::kIndependent, 8000, 3, &rng);
+  auto corr = GeneratePoints(Distribution::kCorrelated, 8000, 3, &rng);
+  auto anti = GeneratePoints(Distribution::kAntiCorrelated, 8000, 3, &rng);
+  EXPECT_NEAR(PairwiseDimCorrelation(indep), 0.0, 0.08);
+  EXPECT_GT(PairwiseDimCorrelation(corr), 0.5);
+  EXPECT_LT(PairwiseDimCorrelation(anti), -0.2);
+}
+
+TEST(SyntheticTest, AntiCorrelatedHasLargerSkyline) {
+  Rng rng(3);
+  auto corr = GeneratePoints(Distribution::kCorrelated, 3000, 3, &rng);
+  auto anti = GeneratePoints(Distribution::kAntiCorrelated, 3000, 3, &rng);
+  auto skyline_size = [](const std::vector<Point>& pts) {
+    int count = 0;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      bool dominated = false;
+      for (size_t j = 0; j < pts.size() && !dominated; ++j) {
+        dominated = j != i && pts[j].Dominates(pts[i]);
+      }
+      if (!dominated) count++;
+    }
+    return count;
+  };
+  EXPECT_GT(skyline_size(anti), 4 * skyline_size(corr));
+}
+
+TEST(SyntheticTest, FunctionsNormalized) {
+  Rng rng(4);
+  FunctionSet fns = GenerateFunctions(500, 5, &rng);
+  for (const PrefFunction& f : fns) {
+    double total = 0.0;
+    for (int d = 0; d < 5; ++d) {
+      EXPECT_GE(f.alpha[d], 0.0);
+      total += f.alpha[d];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_EQ(f.gamma, 1.0);
+    EXPECT_EQ(f.capacity, 1);
+  }
+}
+
+TEST(SyntheticTest, ClusteredFunctionsConcentrate) {
+  Rng rng(5);
+  // One cluster with tiny spread: weights nearly identical.
+  FunctionSet one = GenerateClusteredFunctions(200, 4, 1, 0.01, &rng);
+  double min0 = 1.0, max0 = 0.0;
+  for (const PrefFunction& f : one) {
+    min0 = std::min(min0, f.alpha[0]);
+    max0 = std::max(max0, f.alpha[0]);
+  }
+  EXPECT_LT(max0 - min0, 0.25);
+  // Normalization preserved.
+  for (const PrefFunction& f : one) {
+    double total = 0.0;
+    for (int d = 0; d < 4; ++d) total += f.alpha[d];
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(SyntheticTest, PrioritiesInRange) {
+  Rng rng(6);
+  FunctionSet fns = GenerateFunctions(300, 3, &rng);
+  AssignPriorities(&fns, 8, &rng);
+  bool saw_low = false, saw_high = false;
+  for (const PrefFunction& f : fns) {
+    EXPECT_GE(f.gamma, 1.0);
+    EXPECT_LE(f.gamma, 8.0);
+    EXPECT_EQ(f.gamma, std::floor(f.gamma));
+    saw_low |= f.gamma == 1.0;
+    saw_high |= f.gamma == 8.0;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(SyntheticTest, DeterministicBySeed) {
+  Rng a(7), b(7);
+  auto pa = GeneratePoints(Distribution::kAntiCorrelated, 100, 4, &a);
+  auto pb = GeneratePoints(Distribution::kAntiCorrelated, 100, 4, &b);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(SyntheticTest, ParseDistributionNames) {
+  EXPECT_EQ(ParseDistribution("independent"), Distribution::kIndependent);
+  EXPECT_EQ(ParseDistribution("corr"), Distribution::kCorrelated);
+  EXPECT_EQ(ParseDistribution("anti"), Distribution::kAntiCorrelated);
+  EXPECT_STREQ(DistributionName(Distribution::kAntiCorrelated),
+               "anti-correlated");
+}
+
+TEST(RealSimTest, ZillowShape) {
+  auto points = ZillowSim(20000, 99);
+  ASSERT_EQ(points.size(), 20000u);
+  for (const Point& p : points) {
+    ASSERT_EQ(p.dims(), 5);
+    for (int d = 0; d < 5; ++d) {
+      ASSERT_GE(p[d], 0.0f);
+      ASSERT_LE(p[d], 1.0f);
+    }
+  }
+  // Discrete room attributes produce heavy duplication (skew).
+  std::set<float> bathrooms;
+  for (const Point& p : points) bathrooms.insert(p[0]);
+  EXPECT_LE(bathrooms.size(), 8u);
+  // Rooms correlate with living area.
+  double corr = PairwiseDimCorrelation(points);
+  EXPECT_GT(corr, 0.15);
+}
+
+TEST(RealSimTest, NbaShape) {
+  auto points = NbaSim(kNbaSize, 42);
+  ASSERT_EQ(points.size(), static_cast<size_t>(kNbaSize));
+  // Heavy tail: the best scorer is far above the median.
+  std::vector<float> pts;
+  for (const Point& p : points) pts.push_back(p[0]);
+  std::sort(pts.begin(), pts.end());
+  float median = pts[pts.size() / 2];
+  float top = pts.back();
+  EXPECT_GT(top, 4 * median);
+  // Stats positively correlated through skill.
+  EXPECT_GT(PairwiseDimCorrelation(points), 0.2);
+}
+
+TEST(RealSimTest, Deterministic) {
+  auto a = ZillowSim(500, 7);
+  auto b = ZillowSim(500, 7);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  auto c = NbaSim(500, 7);
+  auto d = NbaSim(500, 7);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], d[i]);
+}
+
+}  // namespace
+}  // namespace fairmatch

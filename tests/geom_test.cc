@@ -1,0 +1,184 @@
+// Unit and property tests for points and MBRs.
+#include <gtest/gtest.h>
+
+#include "fairmatch/common/rng.h"
+#include "fairmatch/geom/mbr.h"
+#include "fairmatch/geom/point.h"
+
+namespace fairmatch {
+namespace {
+
+Point P2(float x, float y) {
+  Point p(2);
+  p[0] = x;
+  p[1] = y;
+  return p;
+}
+
+TEST(PointTest, DominanceBasics) {
+  EXPECT_TRUE(P2(0.5f, 0.6f).Dominates(P2(0.4f, 0.4f)));
+  EXPECT_TRUE(P2(0.5f, 0.4f).Dominates(P2(0.4f, 0.4f)));
+  EXPECT_FALSE(P2(0.5f, 0.3f).Dominates(P2(0.4f, 0.4f)));
+  // Coincident points do not dominate each other (paper definition).
+  EXPECT_FALSE(P2(0.4f, 0.4f).Dominates(P2(0.4f, 0.4f)));
+  EXPECT_TRUE(P2(0.4f, 0.4f).DominatesOrEqual(P2(0.4f, 0.4f)));
+}
+
+TEST(PointTest, DominanceIsIrreflexiveAndAntisymmetric) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    Point a(4), b(4);
+    for (int d = 0; d < 4; ++d) {
+      a[d] = static_cast<float>(rng.Uniform());
+      b[d] = static_cast<float>(rng.Uniform());
+    }
+    EXPECT_FALSE(a.Dominates(a));
+    EXPECT_FALSE(a.Dominates(b) && b.Dominates(a));
+  }
+}
+
+TEST(PointTest, DominanceIsTransitive) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    Point a(3), b(3), c(3);
+    for (int d = 0; d < 3; ++d) {
+      a[d] = static_cast<float>(rng.UniformInt(0, 4)) / 4.0f;
+      b[d] = static_cast<float>(rng.UniformInt(0, 4)) / 4.0f;
+      c[d] = static_cast<float>(rng.UniformInt(0, 4)) / 4.0f;
+    }
+    if (a.Dominates(b) && b.Dominates(c)) {
+      EXPECT_TRUE(a.Dominates(c));
+    }
+  }
+}
+
+TEST(PointTest, DominanceImpliesLargerSum) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    Point a(5), b(5);
+    for (int d = 0; d < 5; ++d) {
+      a[d] = static_cast<float>(rng.UniformInt(0, 8)) / 8.0f;
+      b[d] = static_cast<float>(rng.UniformInt(0, 8)) / 8.0f;
+    }
+    if (a.Dominates(b)) {
+      EXPECT_GT(a.Sum(), b.Sum());
+    }
+  }
+}
+
+TEST(PointTest, ScoreMonotoneUnderDominance) {
+  Rng rng(4);
+  double w[3] = {0.2, 0.5, 0.3};
+  for (int i = 0; i < 1000; ++i) {
+    Point a(3), b(3);
+    for (int d = 0; d < 3; ++d) {
+      a[d] = static_cast<float>(rng.Uniform());
+      b[d] = static_cast<float>(rng.Uniform());
+    }
+    if (a.DominatesOrEqual(b)) {
+      EXPECT_GE(a.Score(w), b.Score(w));
+    }
+  }
+}
+
+TEST(MBRTest, ExpandAndContains) {
+  MBR box = MBR::Empty(2);
+  EXPECT_TRUE(box.is_empty());
+  box.Expand(P2(0.2f, 0.8f));
+  box.Expand(P2(0.6f, 0.3f));
+  EXPECT_FALSE(box.is_empty());
+  EXPECT_TRUE(box.Contains(P2(0.4f, 0.5f)));
+  EXPECT_FALSE(box.Contains(P2(0.1f, 0.5f)));
+  EXPECT_FLOAT_EQ(box.lo()[0], 0.2f);
+  EXPECT_FLOAT_EQ(box.hi()[1], 0.8f);
+}
+
+TEST(MBRTest, AreaMarginEnlargement) {
+  MBR box(P2(0.0f, 0.0f), P2(0.5f, 0.2f));
+  EXPECT_NEAR(box.Area(), 0.5 * 0.2, 1e-6);
+  EXPECT_NEAR(box.Margin(), 0.7, 1e-6);
+  EXPECT_NEAR(box.Enlargement(P2(1.0f, 0.2f)), 1.0 * 0.2 - 0.1, 1e-6);
+  EXPECT_DOUBLE_EQ(box.Enlargement(P2(0.3f, 0.1f)), 0.0);
+}
+
+TEST(MBRTest, EnlargementOfMBR) {
+  MBR a(P2(0.0f, 0.0f), P2(0.4f, 0.4f));
+  MBR b(P2(0.6f, 0.6f), P2(1.0f, 1.0f));
+  EXPECT_NEAR(a.Enlargement(b), 1.0 - 0.16, 1e-6);
+  EXPECT_DOUBLE_EQ(a.Enlargement(a), 0.0);
+}
+
+TEST(MBRTest, Intersects) {
+  MBR a(P2(0.0f, 0.0f), P2(0.5f, 0.5f));
+  MBR b(P2(0.4f, 0.4f), P2(0.9f, 0.9f));
+  MBR c(P2(0.6f, 0.6f), P2(0.9f, 0.9f));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching boxes intersect.
+  MBR d(P2(0.5f, 0.0f), P2(0.9f, 0.5f));
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(MBRTest, BestSumBoundsContainedPoints) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    Point lo(3), hi(3);
+    for (int d = 0; d < 3; ++d) {
+      float a = static_cast<float>(rng.Uniform());
+      float b = static_cast<float>(rng.Uniform());
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    MBR box(lo, hi);
+    Point inside(3);
+    for (int d = 0; d < 3; ++d) {
+      inside[d] = lo[d] + (hi[d] - lo[d]) *
+                              static_cast<float>(rng.Uniform());
+    }
+    EXPECT_GE(box.BestSum(), inside.Sum() - 1e-6);
+  }
+}
+
+TEST(MBRTest, MaxScoreBoundsContainedPoints) {
+  Rng rng(6);
+  double w[3] = {0.1, 0.6, 0.3};
+  for (int i = 0; i < 500; ++i) {
+    Point lo(3), hi(3);
+    for (int d = 0; d < 3; ++d) {
+      float a = static_cast<float>(rng.Uniform());
+      float b = static_cast<float>(rng.Uniform());
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+    }
+    MBR box(lo, hi);
+    Point inside(3);
+    for (int d = 0; d < 3; ++d) {
+      inside[d] =
+          lo[d] + (hi[d] - lo[d]) * static_cast<float>(rng.Uniform());
+    }
+    EXPECT_GE(box.MaxScore(w), inside.Score(w) - 1e-9);
+  }
+}
+
+TEST(MBRTest, DominanceRegionIntersection) {
+  MBR box(P2(0.3f, 0.3f), P2(0.7f, 0.7f));
+  // p above box's lower corner in all dims: intersects dom region.
+  EXPECT_TRUE(box.IntersectsDominanceRegionOf(P2(0.4f, 0.4f)));
+  EXPECT_TRUE(box.IntersectsDominanceRegionOf(P2(1.0f, 1.0f)));
+  EXPECT_TRUE(box.IntersectsDominanceRegionOf(P2(0.3f, 0.3f)));
+  // p strictly below the lower corner in one dim: disjoint.
+  EXPECT_FALSE(box.IntersectsDominanceRegionOf(P2(0.2f, 0.9f)));
+}
+
+TEST(MBRTest, DegeneratePointBox) {
+  Point p = P2(0.4f, 0.7f);
+  MBR box(p);
+  EXPECT_TRUE(box.Contains(p));
+  EXPECT_DOUBLE_EQ(box.Area(), 0.0);
+  EXPECT_EQ(box.best_corner(), p);
+  EXPECT_DOUBLE_EQ(box.BestSum(), p.Sum());
+}
+
+}  // namespace
+}  // namespace fairmatch

@@ -1,0 +1,174 @@
+// End-to-end integration tests on the paged (counted-I/O) storage:
+// cross-algorithm agreement at moderate scale, the paper's headline I/O
+// ordering, and buffer-size behavior.
+#include <gtest/gtest.h>
+
+#include "fairmatch/assign/brute_force.h"
+#include "fairmatch/assign/chain.h"
+#include "fairmatch/assign/sb.h"
+#include "fairmatch/assign/verifier.h"
+#include "fairmatch/data/real_sim.h"
+#include "fairmatch/data/synthetic.h"
+#include "test_util.h"
+
+namespace fairmatch {
+namespace {
+
+using fairmatch::testing::ProblemSpec;
+using fairmatch::testing::RandomProblem;
+
+struct PagedRun {
+  Matching matching;
+  int64_t io = 0;
+};
+
+PagedRun RunSBPaged(const AssignmentProblem& problem, double buffer) {
+  PagedNodeStore store(problem.dims, 1024);
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+  store.ResetCounters();
+  store.SetBufferFraction(buffer);
+  SBAssignment sb(&problem, &tree, SBOptions{});
+  AssignResult result = sb.Run();
+  return {result.matching, store.counters().io_accesses()};
+}
+
+PagedRun RunBFPaged(const AssignmentProblem& problem, double buffer) {
+  PagedNodeStore store(problem.dims, 1024);
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+  store.ResetCounters();
+  store.SetBufferFraction(buffer);
+  AssignResult result = BruteForceAssignment(problem, tree);
+  return {result.matching, store.counters().io_accesses()};
+}
+
+PagedRun RunChainPaged(const AssignmentProblem& problem, double buffer) {
+  PagedNodeStore store(problem.dims, 1024);
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+  store.ResetCounters();
+  store.SetBufferFraction(buffer);
+  AssignResult result = ChainAssignment(problem, &tree);
+  return {result.matching, store.counters().io_accesses()};
+}
+
+TEST(IntegrationTest, ModerateScaleAgreementAndIoOrdering) {
+  Rng rng(12345);
+  auto points = GeneratePoints(Distribution::kAntiCorrelated, 20000, 4, &rng);
+  FunctionSet fns = GenerateFunctions(300, 4, &rng);
+  AssignmentProblem problem = MakeProblem(points, fns);
+
+  PagedRun sb = RunSBPaged(problem, 0.02);
+  PagedRun bf = RunBFPaged(problem, 0.02);
+  PagedRun chain = RunChainPaged(problem, 0.02);
+
+  EXPECT_TRUE(SameMatching(sb.matching, bf.matching));
+  EXPECT_TRUE(SameMatching(sb.matching, chain.matching));
+  EXPECT_EQ(sb.matching.size(), 300u);
+
+  auto verdict = VerifyStableMatching(problem, sb.matching);
+  EXPECT_TRUE(verdict.ok) << verdict.message;
+
+  // The paper's headline: SB incurs orders of magnitude fewer I/Os.
+  EXPECT_LT(sb.io * 10, bf.io);
+  EXPECT_LT(sb.io * 10, chain.io);
+}
+
+TEST(IntegrationTest, SBIoInsensitiveToBuffer) {
+  // Figure 13: SB's I/O barely moves with buffer size (it never re-reads
+  // a node), while Brute Force benefits from a larger buffer.
+  Rng rng(54321);
+  auto points = GeneratePoints(Distribution::kAntiCorrelated, 15000, 3, &rng);
+  FunctionSet fns = GenerateFunctions(200, 3, &rng);
+  AssignmentProblem problem = MakeProblem(points, fns);
+
+  PagedRun sb_none = RunSBPaged(problem, 0.0);
+  PagedRun sb_big = RunSBPaged(problem, 0.10);
+  EXPECT_EQ(sb_none.io, sb_big.io);
+
+  PagedRun bf_none = RunBFPaged(problem, 0.0);
+  PagedRun bf_big = RunBFPaged(problem, 0.10);
+  EXPECT_LT(bf_big.io, bf_none.io);
+}
+
+TEST(IntegrationTest, SBIoFlatInFunctionCount) {
+  // Figure 10: SB's I/O grows only marginally with |F|.
+  Rng rng(777);
+  auto points = GeneratePoints(Distribution::kAntiCorrelated, 15000, 3, &rng);
+  FunctionSet small = GenerateFunctions(50, 3, &rng);
+  FunctionSet large = GenerateFunctions(500, 3, &rng);
+
+  PagedRun run_small =
+      RunSBPaged(MakeProblem(points, small), 0.02);
+  PagedRun run_large =
+      RunSBPaged(MakeProblem(points, large), 0.02);
+  // 10x the functions => far less than 10x the I/O (paper: ~1.27x for
+  // 20x functions).
+  EXPECT_LT(run_large.io, 4 * run_small.io + 64);
+}
+
+TEST(IntegrationTest, ZillowLikeWorkload) {
+  auto points = ZillowSim(20000, 2026);
+  Rng rng(2027);
+  FunctionSet fns = GenerateFunctions(150, 5, &rng);
+  AssignmentProblem problem = MakeProblem(points, fns);
+
+  PagedRun sb = RunSBPaged(problem, 0.02);
+  PagedRun bf = RunBFPaged(problem, 0.02);
+  EXPECT_TRUE(SameMatching(sb.matching, bf.matching));
+  EXPECT_EQ(sb.matching.size(), 150u);
+  EXPECT_LT(sb.io, bf.io);
+}
+
+TEST(IntegrationTest, NbaCapacitatedWorkload) {
+  auto points = NbaSim(kNbaSize, 11);
+  Rng rng(12);
+  FunctionSet fns = GenerateFunctions(100, 5, &rng);
+  SetFunctionCapacities(&fns, 5);
+  AssignmentProblem problem = MakeProblem(points, fns);
+
+  PagedRun sb = RunSBPaged(problem, 0.02);
+  EXPECT_EQ(sb.matching.size(), 500u);
+  PagedRun chain = RunChainPaged(problem, 0.02);
+  EXPECT_TRUE(SameMatching(sb.matching, chain.matching));
+  EXPECT_LT(sb.io, chain.io);
+}
+
+TEST(IntegrationTest, FunctionsExceedObjects) {
+  // |F| > |O|: every object is assigned; surplus functions remain.
+  ProblemSpec spec;
+  spec.num_functions = 500;
+  spec.num_objects = 120;
+  spec.dims = 3;
+  spec.distribution = Distribution::kIndependent;
+  spec.seed = 999;
+  AssignmentProblem problem = RandomProblem(spec);
+
+  PagedRun sb = RunSBPaged(problem, 0.02);
+  EXPECT_EQ(sb.matching.size(), 120u);
+  auto verdict = VerifyStableMatching(problem, sb.matching);
+  EXPECT_TRUE(verdict.ok) << verdict.message;
+}
+
+TEST(IntegrationTest, StatsArePopulated) {
+  ProblemSpec spec;
+  spec.num_functions = 40;
+  spec.num_objects = 2000;
+  spec.dims = 3;
+  spec.seed = 4242;
+  AssignmentProblem problem = RandomProblem(spec);
+  PagedNodeStore store(problem.dims, 1024);
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+  store.ResetCounters();
+  SBAssignment sb(&problem, &tree, SBOptions{});
+  AssignResult result = sb.Run();
+  EXPECT_GT(result.stats.loops, 0);
+  EXPECT_GT(result.stats.peak_memory_bytes, 0u);
+  EXPECT_GE(result.stats.cpu_ms, 0.0);
+  EXPECT_EQ(result.stats.algorithm, "SB");
+}
+
+}  // namespace
+}  // namespace fairmatch

@@ -1,0 +1,289 @@
+// Unit and property tests for the R-tree.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fairmatch/common/rng.h"
+#include "fairmatch/rtree/node.h"
+#include "fairmatch/rtree/node_store.h"
+#include "fairmatch/rtree/rtree.h"
+#include "test_util.h"
+
+namespace fairmatch {
+namespace {
+
+using fairmatch::testing::GridPoints;
+
+std::vector<ObjectRecord> RandomRecords(int n, int dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ObjectRecord> records;
+  records.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Point p(dims);
+    for (int d = 0; d < dims; ++d) {
+      p[d] = static_cast<float>(rng.Uniform());
+    }
+    records.push_back(ObjectRecord{p, i});
+  }
+  return records;
+}
+
+std::multiset<ObjectId> Ids(const std::vector<ObjectRecord>& records) {
+  std::multiset<ObjectId> ids;
+  for (const auto& r : records) ids.insert(r.id);
+  return ids;
+}
+
+// Walks the tree checking structural invariants: every child MBR is
+// contained in its parent entry's MBR, levels decrease by one, and no
+// non-root node underflows past emptiness.
+void CheckInvariants(const RTree& tree) {
+  struct Item {
+    PageId pid;
+    int expected_level;
+    bool has_bound;
+    MBR bound;
+  };
+  std::vector<Item> stack{{tree.root(), tree.root_level(), false, MBR()}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    NodeHandle h = tree.ReadNode(item.pid);
+    NodeView node = h.view();
+    ASSERT_EQ(node.level(), item.expected_level);
+    MBR computed = node.ComputeMBR();
+    if (item.has_bound && node.count() > 0) {
+      for (int d = 0; d < tree.dims(); ++d) {
+        ASSERT_GE(computed.lo()[d], item.bound.lo()[d]);
+        ASSERT_LE(computed.hi()[d], item.bound.hi()[d]);
+      }
+    }
+    if (!node.is_leaf()) {
+      ASSERT_GT(node.count(), 0);
+      for (int i = 0; i < node.count(); ++i) {
+        stack.push_back(
+            Item{node.child(i), node.level() - 1, true, node.entry_mbr(i)});
+      }
+    }
+  }
+}
+
+TEST(NodeViewTest, CapacitiesMatchPageSize) {
+  for (int dims = 2; dims <= 8; ++dims) {
+    int leaf = NodeView::LeafCapacity(dims);
+    int internal = NodeView::InternalCapacity(dims);
+    EXPECT_GT(leaf, internal);
+    EXPECT_LE(4 + leaf * (4 * dims + 4), kPageSize);
+    EXPECT_LE(4 + internal * (8 * dims + 4), kPageSize);
+    // One more entry would overflow.
+    EXPECT_GT(4 + (leaf + 1) * (4 * dims + 4), kPageSize);
+  }
+}
+
+TEST(NodeViewTest, LeafRoundTrip) {
+  MemNodeStore store(3);
+  PageId pid = store.Allocate();
+  NodeHandle h = store.Write(pid);
+  NodeView node = h.view();
+  node.Init(0);
+  Point p(3);
+  p[0] = 0.1f;
+  p[1] = 0.2f;
+  p[2] = 0.3f;
+  node.AppendLeaf(p, 77);
+  EXPECT_EQ(node.count(), 1);
+  EXPECT_TRUE(node.is_leaf());
+  EXPECT_EQ(node.leaf_point(0), p);
+  EXPECT_EQ(node.child(0), 77);
+}
+
+TEST(NodeViewTest, InternalRoundTripAndRemove) {
+  MemNodeStore store(2);
+  PageId pid = store.Allocate();
+  NodeHandle h = store.Write(pid);
+  NodeView node = h.view();
+  node.Init(1);
+  Point lo(2, 0.1f), hi(2, 0.5f);
+  node.AppendInternal(MBR(lo, hi), 5);
+  node.AppendInternal(MBR(Point(2, 0.6f), Point(2, 0.9f)), 6);
+  EXPECT_EQ(node.count(), 2);
+  EXPECT_EQ(node.child(1), 6);
+  node.RemoveEntry(0);  // swaps last into slot 0
+  EXPECT_EQ(node.count(), 1);
+  EXPECT_EQ(node.child(0), 6);
+}
+
+TEST(QuadraticSplitTest, RespectsMinFill) {
+  Rng rng(9);
+  std::vector<std::pair<MBR, int32_t>> entries;
+  for (int i = 0; i < 51; ++i) {
+    Point p(2);
+    p[0] = static_cast<float>(rng.Uniform());
+    p[1] = static_cast<float>(rng.Uniform());
+    entries.emplace_back(MBR(p), i);
+  }
+  std::vector<std::pair<MBR, int32_t>> g1, g2;
+  QuadraticSplit(entries, 20, &g1, &g2);
+  EXPECT_EQ(g1.size() + g2.size(), entries.size());
+  EXPECT_GE(g1.size(), 20u);
+  EXPECT_GE(g2.size(), 20u);
+  // Every entry lands in exactly one group.
+  std::multiset<int32_t> all;
+  for (auto& e : g1) all.insert(e.second);
+  for (auto& e : g2) all.insert(e.second);
+  EXPECT_EQ(all.size(), entries.size());
+  EXPECT_EQ(*all.begin(), 0);
+}
+
+class RTreeParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RTreeParamTest, BulkLoadContainsAll) {
+  auto [n, dims] = GetParam();
+  MemNodeStore store(dims);
+  RTree tree(&store);
+  auto records = RandomRecords(n, dims, 101 + n + dims);
+  tree.BulkLoad(records);
+  EXPECT_EQ(tree.size(), n);
+  auto scanned = tree.ScanAll();
+  EXPECT_EQ(Ids(scanned), Ids(records));
+  CheckInvariants(tree);
+}
+
+TEST_P(RTreeParamTest, InsertContainsAll) {
+  auto [n, dims] = GetParam();
+  MemNodeStore store(dims);
+  RTree tree(&store);
+  auto records = RandomRecords(n, dims, 202 + n + dims);
+  for (const auto& r : records) tree.Insert(r.point, r.id);
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_EQ(Ids(tree.ScanAll()), Ids(records));
+  CheckInvariants(tree);
+}
+
+TEST_P(RTreeParamTest, DeleteHalfThenScan) {
+  auto [n, dims] = GetParam();
+  MemNodeStore store(dims);
+  RTree tree(&store);
+  auto records = RandomRecords(n, dims, 303 + n + dims);
+  tree.BulkLoad(records);
+  std::multiset<ObjectId> expect = Ids(records);
+  for (int i = 0; i < n; i += 2) {
+    ASSERT_TRUE(tree.Delete(records[i].point, records[i].id));
+    expect.erase(expect.find(records[i].id));
+  }
+  EXPECT_EQ(tree.size(), n - (n + 1) / 2);
+  EXPECT_EQ(Ids(tree.ScanAll()), expect);
+  CheckInvariants(tree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RTreeParamTest,
+    ::testing::Values(std::make_tuple(1, 2), std::make_tuple(10, 2),
+                      std::make_tuple(300, 2), std::make_tuple(300, 4),
+                      std::make_tuple(2000, 3), std::make_tuple(5000, 4),
+                      std::make_tuple(1000, 6)));
+
+TEST(RTreeTest, DeleteMissingReturnsFalse) {
+  MemNodeStore store(2);
+  RTree tree(&store);
+  auto records = RandomRecords(50, 2, 7);
+  tree.BulkLoad(records);
+  Point p(2, 0.5f);
+  EXPECT_FALSE(tree.Delete(p, 9999));
+  EXPECT_EQ(tree.size(), 50);
+}
+
+TEST(RTreeTest, DeleteEverything) {
+  MemNodeStore store(3);
+  RTree tree(&store);
+  auto records = RandomRecords(800, 3, 8);
+  tree.BulkLoad(records);
+  Rng rng(88);
+  std::shuffle(records.begin(), records.end(), rng.engine());
+  for (const auto& r : records) {
+    ASSERT_TRUE(tree.Delete(r.point, r.id));
+  }
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.ScanAll().empty());
+  // The tree remains usable after total deletion.
+  tree.Insert(Point(3, 0.5f), 1);
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(RTreeTest, MixedInsertDeleteStress) {
+  MemNodeStore store(2);
+  RTree tree(&store);
+  Rng rng(31);
+  std::vector<ObjectRecord> live;
+  int next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (live.empty() || rng.Uniform() < 0.6) {
+      Point p(2);
+      p[0] = static_cast<float>(rng.Uniform());
+      p[1] = static_cast<float>(rng.Uniform());
+      tree.Insert(p, next_id);
+      live.push_back(ObjectRecord{p, next_id});
+      next_id++;
+    } else {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(tree.Delete(live[pick].point, live[pick].id));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+  EXPECT_EQ(tree.size(), static_cast<int64_t>(live.size()));
+  EXPECT_EQ(Ids(tree.ScanAll()), Ids(live));
+  CheckInvariants(tree);
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  MemNodeStore store(2);
+  RTree tree(&store);
+  auto points = GridPoints(400, 2, 3, 55);  // heavy duplication
+  std::vector<ObjectRecord> records;
+  for (int i = 0; i < 400; ++i) records.push_back({points[i], i});
+  tree.BulkLoad(records);
+  // Delete one specific duplicate; the others survive.
+  ASSERT_TRUE(tree.Delete(records[10].point, records[10].id));
+  auto ids = Ids(tree.ScanAll());
+  EXPECT_EQ(ids.count(10), 0u);
+  EXPECT_EQ(ids.size(), 399u);
+}
+
+TEST(RTreeTest, PagedStoreCountsIo) {
+  PagedNodeStore store(3, /*buffer_frames=*/64);
+  RTree tree(&store);
+  tree.BulkLoad(RandomRecords(5000, 3, 66));
+  store.ResetCounters();
+  EXPECT_EQ(store.counters().io_accesses(), 0);
+  auto scanned = tree.ScanAll();
+  EXPECT_EQ(scanned.size(), 5000u);
+  // A full scan with a small buffer reads (at least) every node once.
+  EXPECT_GE(store.counters().page_reads, tree.CountNodes() - 64);
+}
+
+TEST(RTreeTest, BulkLoadRespectsFillFactor) {
+  MemNodeStore store(2);
+  RTree tree(&store);
+  tree.BulkLoad(RandomRecords(10000, 2, 77), /*fill_factor=*/0.7);
+  int64_t nodes = tree.CountNodes();
+  // LeafCapacity(2) = 341; 10000 / (341 * 0.7) ~= 42 leaves plus a root
+  // and STR slab remainders: roughly 40-55 nodes.
+  EXPECT_GE(nodes, 30);
+  EXPECT_LE(nodes, 60);
+  CheckInvariants(tree);
+}
+
+TEST(RTreeTest, EmptyTreeBehaves) {
+  MemNodeStore store(2);
+  RTree tree(&store);
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_TRUE(tree.ScanAll().empty());
+  EXPECT_FALSE(tree.Delete(Point(2, 0.1f), 0));
+  EXPECT_EQ(tree.height(), 1);
+}
+
+}  // namespace
+}  // namespace fairmatch

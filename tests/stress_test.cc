@@ -1,0 +1,147 @@
+// Randomized cross-algorithm stress sweeps: many seeds and shapes,
+// exact agreement between every implementation and the by-definition
+// oracle (small instances) or between the implementations themselves
+// (moderate instances where the O(|F|*|O|*P) oracle is too slow).
+#include <gtest/gtest.h>
+
+#include "fairmatch/assign/brute_force.h"
+#include "fairmatch/assign/chain.h"
+#include "fairmatch/assign/naive_matcher.h"
+#include "fairmatch/assign/sb.h"
+#include "fairmatch/assign/sb_alt.h"
+#include "fairmatch/assign/two_skyline.h"
+#include "fairmatch/assign/verifier.h"
+#include "fairmatch/topk/disk_function_lists.h"
+#include "test_util.h"
+
+namespace fairmatch {
+namespace {
+
+using fairmatch::testing::MemTree;
+using fairmatch::testing::ProblemSpec;
+using fairmatch::testing::RandomProblem;
+
+class StressSmall : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressSmall, EveryAlgorithmMatchesOracle) {
+  const int seed = GetParam();
+  Rng shape_rng(seed * 7919 + 13);
+  ProblemSpec spec;
+  spec.num_functions = 5 + static_cast<int>(shape_rng.UniformInt(0, 45));
+  spec.num_objects = 5 + static_cast<int>(shape_rng.UniformInt(0, 120));
+  spec.dims = 2 + static_cast<int>(shape_rng.UniformInt(0, 3));
+  spec.distribution = static_cast<Distribution>(shape_rng.UniformInt(0, 2));
+  spec.seed = static_cast<uint64_t>(seed) * 104729;
+  spec.function_capacity = 1 + static_cast<int>(shape_rng.UniformInt(0, 2));
+  spec.object_capacity = 1 + static_cast<int>(shape_rng.UniformInt(0, 2));
+  spec.max_gamma = 1 + static_cast<int>(shape_rng.UniformInt(0, 3));
+  AssignmentProblem problem = RandomProblem(spec);
+  Matching want = NaiveStableMatching(problem);
+
+  {
+    MemTree mem(problem);
+    SBAssignment sb(&problem, &mem.tree, SBOptions{});
+    EXPECT_TRUE(SameMatching(sb.Run().matching, want)) << "SB seed " << seed;
+  }
+  {
+    MemTree mem(problem);
+    EXPECT_TRUE(
+        SameMatching(BruteForceAssignment(problem, mem.tree).matching, want))
+        << "BF seed " << seed;
+  }
+  {
+    MemTree mem(problem);
+    EXPECT_TRUE(SameMatching(ChainAssignment(problem, &mem.tree).matching,
+                             want))
+        << "Chain seed " << seed;
+  }
+  {
+    MemTree mem(problem);
+    EXPECT_TRUE(
+        SameMatching(TwoSkylineAssignment(problem, mem.tree).matching, want))
+        << "TwoSkyline seed " << seed;
+  }
+  {
+    MemTree mem(problem);
+    DiskFunctionStore store(problem.functions, 0.02);
+    EXPECT_TRUE(SameMatching(
+        SBAltAssignment(problem, mem.tree, &store).matching, want))
+        << "SB-alt seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSmall, ::testing::Range(0, 24));
+
+class StressModerate : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressModerate, ImplementationsAgreePairwise) {
+  const int seed = GetParam();
+  ProblemSpec spec;
+  spec.num_functions = 400;
+  spec.num_objects = 4000;
+  spec.dims = 3 + seed % 3;
+  spec.distribution = static_cast<Distribution>(seed % 3);
+  spec.seed = 31337u + static_cast<uint64_t>(seed);
+  AssignmentProblem problem = RandomProblem(spec);
+
+  Matching sb_matching;
+  {
+    MemTree mem(problem);
+    SBAssignment sb(&problem, &mem.tree, SBOptions{});
+    sb_matching = sb.Run().matching;
+  }
+  EXPECT_EQ(sb_matching.size(), 400u);
+  auto verdict = VerifyStableMatching(problem, sb_matching);
+  EXPECT_TRUE(verdict.ok) << verdict.message;
+  {
+    MemTree mem(problem);
+    EXPECT_TRUE(SameMatching(
+        BruteForceAssignment(problem, mem.tree).matching, sb_matching))
+        << "BF vs SB seed " << seed;
+  }
+  {
+    MemTree mem(problem);
+    EXPECT_TRUE(SameMatching(ChainAssignment(problem, &mem.tree).matching,
+                             sb_matching))
+        << "Chain vs SB seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressModerate, ::testing::Range(0, 6));
+
+// The Omega/biased/resume knobs must never change the matching, only
+// cost — swept jointly over several shapes.
+class StressOptions
+    : public ::testing::TestWithParam<std::tuple<double, bool, bool>> {};
+
+TEST_P(StressOptions, KnobsPreserveTheMatching) {
+  auto [omega, biased, resume] = GetParam();
+  ProblemSpec spec;
+  spec.num_functions = 120;
+  spec.num_objects = 900;
+  spec.dims = 4;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.seed = 55555;
+  AssignmentProblem problem = RandomProblem(spec);
+  Matching want;
+  {
+    MemTree mem(problem);
+    SBAssignment sb(&problem, &mem.tree, SBOptions{});
+    want = sb.Run().matching;
+  }
+  SBOptions options;
+  options.ta.omega = omega;
+  options.ta.biased_probing = biased;
+  options.ta.resume = resume;
+  MemTree mem(problem);
+  SBAssignment sb(&problem, &mem.tree, options);
+  EXPECT_TRUE(SameMatching(sb.Run().matching, want));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, StressOptions,
+    ::testing::Combine(::testing::Values(0.002, 0.025, 0.2),
+                       ::testing::Bool(), ::testing::Bool()));
+
+}  // namespace
+}  // namespace fairmatch

@@ -1,0 +1,254 @@
+// Correctness of the problem variants: capacities (Section 6.1),
+// priorities (Section 6.2, incl. two-skyline) and disk-resident
+// functions (Section 7.6: SB over a disk index, and SB-alt).
+#include <gtest/gtest.h>
+
+#include "fairmatch/assign/brute_force.h"
+#include "fairmatch/assign/chain.h"
+#include "fairmatch/assign/naive_matcher.h"
+#include "fairmatch/assign/sb.h"
+#include "fairmatch/assign/sb_alt.h"
+#include "fairmatch/assign/two_skyline.h"
+#include "fairmatch/assign/verifier.h"
+#include "fairmatch/topk/disk_function_lists.h"
+#include "test_util.h"
+
+namespace fairmatch {
+namespace {
+
+using fairmatch::testing::MemTree;
+using fairmatch::testing::ProblemSpec;
+using fairmatch::testing::RandomProblem;
+
+void ExpectSame(const Matching& got, const Matching& want,
+                const std::string& label) {
+  EXPECT_TRUE(SameMatching(got, want)) << label;
+}
+
+class CapacityParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CapacityParamTest, AllAlgorithmsAgreeWithNaive) {
+  auto [fcap, ocap] = GetParam();
+  ProblemSpec spec;
+  spec.num_functions = 12;
+  spec.num_objects = 80;
+  spec.dims = 3;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.seed = 100 * fcap + ocap;
+  spec.function_capacity = fcap;
+  spec.object_capacity = ocap;
+  AssignmentProblem problem = RandomProblem(spec);
+  Matching want = NaiveStableMatching(problem);
+  // Every function slot is served while objects remain.
+  EXPECT_EQ(static_cast<int64_t>(want.size()),
+            std::min(problem.TotalFunctionCapacity(),
+                     problem.TotalObjectCapacity()));
+  {
+    MemTree mem(problem);
+    SBAssignment sb(&problem, &mem.tree, SBOptions{});
+    ExpectSame(sb.Run().matching, want, "SB capacitated");
+  }
+  {
+    MemTree mem(problem);
+    ExpectSame(BruteForceAssignment(problem, mem.tree).matching, want,
+               "BF capacitated");
+  }
+  {
+    MemTree mem(problem);
+    ExpectSame(ChainAssignment(problem, &mem.tree).matching, want,
+               "Chain capacitated");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, CapacityParamTest,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(4, 1),
+                      std::make_tuple(8, 1), std::make_tuple(1, 2),
+                      std::make_tuple(1, 4), std::make_tuple(3, 2),
+                      std::make_tuple(16, 16)));
+
+TEST(CapacityTest, SameMultiPairRepeatsAcrossLoops) {
+  // One function and one object with capacity 3 each: the same pair must
+  // be emitted three times.
+  FunctionSet fns(1);
+  fns[0] = PrefFunction{0, 2, {0.6, 0.4}, 1.0, 3};
+  std::vector<Point> points(1, Point(2, 0.5f));
+  AssignmentProblem problem = MakeProblem(points, fns, /*object_capacity=*/3);
+  MemTree mem(problem);
+  SBAssignment sb(&problem, &mem.tree, SBOptions{});
+  Matching got = sb.Run().matching;
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& p : got) {
+    EXPECT_EQ(p.fid, 0);
+    EXPECT_EQ(p.oid, 0);
+  }
+}
+
+class PriorityParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PriorityParamTest, SBAndTwoSkylineAgreeWithNaive) {
+  int max_gamma = GetParam();
+  ProblemSpec spec;
+  spec.num_functions = 25;
+  spec.num_objects = 120;
+  spec.dims = 3;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.seed = 9000 + max_gamma;
+  spec.max_gamma = max_gamma;
+  AssignmentProblem problem = RandomProblem(spec);
+  Matching want = NaiveStableMatching(problem);
+  {
+    MemTree mem(problem);
+    SBAssignment sb(&problem, &mem.tree, SBOptions{});
+    ExpectSame(sb.Run().matching, want, "SB prioritized");
+  }
+  {
+    MemTree mem(problem);
+    AssignResult got = TwoSkylineAssignment(problem, mem.tree);
+    ExpectSame(got.matching, want, "two-skyline prioritized");
+  }
+  {
+    MemTree mem(problem);
+    ExpectSame(BruteForceAssignment(problem, mem.tree).matching, want,
+               "BF prioritized");
+  }
+  {
+    MemTree mem(problem);
+    ExpectSame(ChainAssignment(problem, &mem.tree).matching, want,
+               "Chain prioritized");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, PriorityParamTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(PriorityTest, HigherPriorityWinsContestedObject) {
+  // Two identical-weight users; the senior (gamma 2) takes the best
+  // object.
+  FunctionSet fns(2);
+  fns[0] = PrefFunction{0, 2, {0.5, 0.5}, 1.0, 1};
+  fns[1] = PrefFunction{1, 2, {0.5, 0.5}, 2.0, 1};
+  std::vector<Point> points(2, Point(2));
+  points[0][0] = 0.9f;
+  points[0][1] = 0.9f;  // clearly best
+  points[1][0] = 0.2f;
+  points[1][1] = 0.2f;
+  AssignmentProblem problem = MakeProblem(points, fns);
+  MemTree mem(problem);
+  AssignResult got = TwoSkylineAssignment(problem, mem.tree);
+  CanonicalizeMatching(&got.matching);
+  ASSERT_EQ(got.matching.size(), 2u);
+  EXPECT_EQ(got.matching[1].fid, 1);
+  EXPECT_EQ(got.matching[1].oid, 0);  // senior gets the good one
+  EXPECT_EQ(got.matching[0].oid, 1);
+}
+
+struct DiskSpec {
+  ProblemSpec problem;
+  double buffer_fraction;
+};
+
+class DiskFunctionParamTest : public ::testing::TestWithParam<DiskSpec> {};
+
+TEST_P(DiskFunctionParamTest, SBOverDiskIndexMatchesNaive) {
+  DiskSpec spec = GetParam();
+  AssignmentProblem problem = RandomProblem(spec.problem);
+  Matching want = NaiveStableMatching(problem);
+  MemTree mem(problem);
+  DiskFunctionStore store(problem.functions, spec.buffer_fraction);
+  SBAssignment sb(&problem, &mem.tree, SBOptions{}, &store);
+  AssignResult got = sb.Run();
+  ExpectSame(got.matching, want, "SB disk-F");
+  EXPECT_GT(store.counters().io_accesses(), 0);
+}
+
+TEST_P(DiskFunctionParamTest, SBAltMatchesNaive) {
+  DiskSpec spec = GetParam();
+  AssignmentProblem problem = RandomProblem(spec.problem);
+  Matching want = NaiveStableMatching(problem);
+  MemTree mem(problem);
+  DiskFunctionStore store(problem.functions, spec.buffer_fraction);
+  AssignResult got = SBAltAssignment(problem, mem.tree, &store);
+  ExpectSame(got.matching, want, "SB-alt");
+  auto verdict = VerifyStableMatching(problem, got.matching);
+  EXPECT_TRUE(verdict.ok) << verdict.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DiskShapes, DiskFunctionParamTest,
+    ::testing::Values(
+        DiskSpec{ProblemSpec{200, 40, 3, Distribution::kIndependent, 501},
+                 0.02},
+        DiskSpec{ProblemSpec{500, 60, 4, Distribution::kAntiCorrelated, 502},
+                 0.02},
+        DiskSpec{ProblemSpec{300, 50, 3, Distribution::kCorrelated, 503},
+                 0.0},
+        DiskSpec{ProblemSpec{100, 100, 3, Distribution::kAntiCorrelated,
+                             504},
+                 0.1},
+        DiskSpec{ProblemSpec{50, 200, 5, Distribution::kIndependent, 505},
+                 0.02}));
+
+TEST(SBAltTest, CapacitatedDiskRun) {
+  ProblemSpec spec;
+  spec.num_functions = 150;
+  spec.num_objects = 50;
+  spec.dims = 3;
+  spec.seed = 606;
+  spec.function_capacity = 2;
+  spec.object_capacity = 3;
+  AssignmentProblem problem = RandomProblem(spec);
+  Matching want = NaiveStableMatching(problem);
+  MemTree mem(problem);
+  DiskFunctionStore store(problem.functions, 0.02);
+  AssignResult got = SBAltAssignment(problem, mem.tree, &store);
+  ExpectSame(got.matching, want, "SB-alt capacitated");
+}
+
+TEST(SBAltTest, BatchScanIsPageBounded) {
+  // Per loop, SB-alt reads each list page at most once: with L loops and
+  // P pages per list over D lists, sequential reads <= L * D * P. This
+  // catches accidental per-object rescans.
+  ProblemSpec spec;
+  spec.num_functions = 2000;
+  spec.num_objects = 30;
+  spec.dims = 3;
+  spec.seed = 707;
+  AssignmentProblem problem = RandomProblem(spec);
+  MemTree mem(problem);
+  DiskFunctionStore store(problem.functions, 0.0);
+  AssignResult got = SBAltAssignment(problem, mem.tree, &store);
+  EXPECT_EQ(got.matching.size(), 30u);
+  int64_t pages = store.pages_per_list();
+  // Sequential + random accesses, crude upper bound:
+  // loops * D * pages (sequential) + encounters * D (random).
+  int64_t bound = got.stats.loops * 3 * pages + 2000LL * 3 * got.stats.loops;
+  EXPECT_LE(store.counters().page_reads, bound);
+}
+
+TEST(PriorityCapacityTest, CombinedVariantsAgree) {
+  ProblemSpec spec;
+  spec.num_functions = 15;
+  spec.num_objects = 60;
+  spec.dims = 3;
+  spec.seed = 808;
+  spec.max_gamma = 4;
+  spec.function_capacity = 2;
+  spec.object_capacity = 2;
+  AssignmentProblem problem = RandomProblem(spec);
+  Matching want = NaiveStableMatching(problem);
+  {
+    MemTree mem(problem);
+    SBAssignment sb(&problem, &mem.tree, SBOptions{});
+    ExpectSame(sb.Run().matching, want, "SB gamma+cap");
+  }
+  {
+    MemTree mem(problem);
+    AssignResult got = TwoSkylineAssignment(problem, mem.tree);
+    ExpectSame(got.matching, want, "two-skyline gamma+cap");
+  }
+}
+
+}  // namespace
+}  // namespace fairmatch
