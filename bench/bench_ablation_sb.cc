@@ -3,6 +3,7 @@
 // vs round-robin probing, resumable searches, and multi-pair loops.
 #include "bench_common.h"
 #include "fairmatch/assign/sb.h"
+#include "fairmatch/engine/exec_context.h"
 #include "fairmatch/rtree/node_store.h"
 
 using namespace fairmatch;
@@ -10,23 +11,25 @@ using namespace fairmatch::bench;
 
 namespace {
 
-RunRow RunSBWith(const AssignmentProblem& problem, const BenchConfig& config,
-                 const SBOptions& options, const char* name) {
-  PagedNodeStore store(problem.dims, 4096);
+// Option-level sweeps (omega, probing, resume) are SBOptions knobs, not
+// registry variants, so this bench constructs SB directly — but it
+// instruments through the same ExecContext as the engine.
+RunStats RunSBWith(const AssignmentProblem& problem,
+                   const BenchConfig& config, const SBOptions& options,
+                   const char* name) {
+  ExecContext ctx;
+  PagedNodeStore store(problem.dims, 4096, &ctx.counters());
   RTree tree(&store);
   BuildObjectTree(problem, &tree);
   store.ResetCounters();
   store.SetBufferFraction(config.buffer_fraction);
-  SBAssignment sb(&problem, &tree, options);
+  ctx.BeginRun();
+  SBAssignment sb(&problem, &tree, options, nullptr, &ctx);
   AssignResult result = sb.Run();
-  RunRow row;
-  row.algo = name;
-  row.io = store.counters().io_accesses();
-  row.cpu_ms = result.stats.cpu_ms;
-  row.mem_mb = result.stats.peak_memory_mb();
-  row.pairs = result.matching.size();
-  row.loops = result.stats.loops;
-  return row;
+  result.stats.algorithm = name;
+  result.stats.pairs = result.matching.size();
+  ctx.Finish(&result.stats);
+  return result.stats;
 }
 
 }  // namespace

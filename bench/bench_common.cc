@@ -4,13 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 
-#include "fairmatch/assign/brute_force.h"
-#include "fairmatch/assign/chain.h"
-#include "fairmatch/assign/sb.h"
-#include "fairmatch/assign/sb_alt.h"
-#include "fairmatch/assign/two_skyline.h"
+#include "fairmatch/common/check.h"
 #include "fairmatch/common/rng.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/topk/disk_function_lists.h"
 
@@ -64,137 +62,67 @@ AssignmentProblem BuildProblem(const BenchConfig& config) {
                      config.object_capacity);
 }
 
-const char* AlgoName(Algo algo) {
-  switch (algo) {
-    case Algo::kSB:
-      return "SB";
-    case Algo::kSBUpdateSkyline:
-      return "SB-UpdateSkyline";
-    case Algo::kSBDeltaSky:
-      return "SB-DeltaSky";
-    case Algo::kSBTwoSkylines:
-      return "SB-TwoSkylines";
-    case Algo::kBruteForce:
-      return "BruteForce";
-    case Algo::kChain:
-      return "Chain";
-    case Algo::kSBDiskF:
-      return "SB";
-    case Algo::kSBAlt:
-      return "SB-alt";
-    case Algo::kBruteForceDiskF:
-      return "BruteForce";
-    case Algo::kChainDiskF:
-      return "Chain";
-  }
-  return "?";
-}
-
-namespace {
-
-bool IsDiskF(Algo algo) {
-  return algo == Algo::kSBDiskF || algo == Algo::kSBAlt ||
-         algo == Algo::kBruteForceDiskF || algo == Algo::kChainDiskF;
-}
-
-RunRow Finish(Algo algo, const AssignResult& result, int64_t io) {
-  RunRow row;
-  row.algo = AlgoName(algo);
-  row.io = io;
-  row.cpu_ms = result.stats.cpu_ms;
-  row.mem_mb = result.stats.peak_memory_mb();
-  row.pairs = result.matching.size();
-  row.loops = result.stats.loops;
-  return row;
-}
-
-}  // namespace
-
-RunRow Run(Algo algo, const AssignmentProblem& problem,
-           const BenchConfig& config) {
-  if (IsDiskF(algo)) {
-    // Section 7.6 setting: O fits in memory, F lives on disk.
-    MemNodeStore store(problem.dims);
-    RTree tree(&store);
-    BuildObjectTree(problem, &tree);
-    DiskFunctionStore fstore(problem.functions, config.buffer_fraction);
-    AssignResult result;
-    switch (algo) {
-      case Algo::kSBDiskF: {
-        SBAssignment sb(&problem, &tree, SBOptions{}, &fstore);
-        result = sb.Run();
-        break;
-      }
-      case Algo::kSBAlt:
-        result = SBAltAssignment(problem, tree, &fstore);
-        break;
-      case Algo::kBruteForceDiskF: {
-        BruteForceOptions options;
-        options.disk_functions = &fstore;
-        result = BruteForceAssignment(problem, tree, options);
-        break;
-      }
-      case Algo::kChainDiskF: {
-        ChainOptions options;
-        options.disk_functions = &fstore;
-        options.function_tree_buffer = config.buffer_fraction;
-        result = ChainAssignment(problem, &tree, options);
-        break;
-      }
-      default:
-        break;
+RunStats Run(const std::string& name, const AssignmentProblem& problem,
+             const BenchConfig& config) {
+  const MatcherRegistry& registry = MatcherRegistry::Global();
+  const MatcherInfo* info = registry.Find(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown matcher '%s'; registered:\n", name.c_str());
+    for (const std::string& n : registry.Names()) {
+      std::fprintf(stderr, "  %s\n", n.c_str());
     }
-    // Coefficient-store traffic plus any algorithm-private disk I/O
-    // (Chain's disk-resident function R-tree).
-    return Finish(algo, result,
-                  fstore.counters().io_accesses() +
-                      result.stats.io_accesses);
+    std::abort();
+  }
+  if (info->needs_disk_functions && !config.disk_resident_functions) {
+    std::fprintf(stderr,
+                 "matcher '%s' requires the disk-resident-F setting; set "
+                 "BenchConfig::disk_resident_functions\n",
+                 name.c_str());
+    std::abort();
+  }
+  if (info->reference) {
+    std::fprintf(stderr,
+                 "matcher '%s' is a reference oracle (O(P*|F|*|O|)); it is "
+                 "excluded from benches\n",
+                 name.c_str());
+    std::abort();
   }
 
-  // Standard setting: O on the simulated disk behind the LRU buffer.
-  PagedNodeStore store(problem.dims, /*buffer_frames=*/4096);
-  RTree tree(&store);
-  BuildObjectTree(problem, &tree);
-  store.ResetCounters();
-  store.SetBufferFraction(config.buffer_fraction);
+  // One shared instrumentation context per measured run: every storage
+  // entity below counts its simulated-disk traffic here.
+  ExecContext ctx;
+  MatcherEnv env;
+  env.problem = &problem;
+  env.buffer_fraction = config.buffer_fraction;
+  env.ctx = &ctx;
 
-  AssignResult result;
-  switch (algo) {
-    case Algo::kSB: {
-      SBAssignment sb(&problem, &tree, SBOptions{});
-      result = sb.Run();
-      break;
-    }
-    case Algo::kSBUpdateSkyline: {
-      SBOptions options;
-      options.best_pair_mode = BestPairMode::kExhaustive;
-      options.multi_pair = false;
-      SBAssignment sb(&problem, &tree, options);
-      result = sb.Run();
-      break;
-    }
-    case Algo::kSBDeltaSky: {
-      SBOptions options;
-      options.skyline_mode = SkylineMode::kDeltaSky;
-      options.best_pair_mode = BestPairMode::kExhaustive;
-      options.multi_pair = false;
-      SBAssignment sb(&problem, &tree, options);
-      result = sb.Run();
-      break;
-    }
-    case Algo::kSBTwoSkylines:
-      result = TwoSkylineAssignment(problem, tree);
-      break;
-    case Algo::kBruteForce:
-      result = BruteForceAssignment(problem, tree);
-      break;
-    case Algo::kChain:
-      result = ChainAssignment(problem, &tree);
-      break;
-    default:
-      break;
+  // Storage layout per the paper's Section 7 / 7.6 settings. Objects on
+  // the paged store (standard) or in memory (disk-F); the function
+  // lists on disk only in the disk-F setting.
+  std::optional<PagedNodeStore> paged_store;
+  std::optional<MemNodeStore> mem_store;
+  std::optional<DiskFunctionStore> fstore;
+  std::optional<RTree> tree;
+  if (config.disk_resident_functions) {
+    mem_store.emplace(problem.dims);
+    tree.emplace(&*mem_store);
+    BuildObjectTree(problem, &*tree);
+    fstore.emplace(problem.functions, config.buffer_fraction,
+                   &ctx.counters());
+    env.fn_store = &*fstore;
+  } else {
+    paged_store.emplace(problem.dims, /*buffer_frames=*/4096,
+                        &ctx.counters());
+    tree.emplace(&*paged_store);
+    BuildObjectTree(problem, &*tree);
+    paged_store->ResetCounters();  // exclude the build phase
+    paged_store->SetBufferFraction(config.buffer_fraction);
   }
-  return Finish(algo, result, store.counters().io_accesses());
+  env.tree = &*tree;
+
+  std::unique_ptr<Matcher> matcher = registry.Create(name, env);
+  FAIRMATCH_CHECK(matcher != nullptr);
+  return matcher->Run().stats;
 }
 
 void PrintHeader(const std::string& figure, const std::string& subtitle) {
@@ -205,10 +133,12 @@ void PrintHeader(const std::string& figure, const std::string& subtitle) {
   std::fflush(stdout);
 }
 
-void PrintRow(const std::string& x, const RunRow& row) {
+void PrintRow(const std::string& x, const RunStats& stats) {
   std::printf("%-12s %-18s %12lld %12.1f %10.2f %8zu %8lld\n", x.c_str(),
-              row.algo.c_str(), static_cast<long long>(row.io), row.cpu_ms,
-              row.mem_mb, row.pairs, static_cast<long long>(row.loops));
+              stats.algorithm.c_str(),
+              static_cast<long long>(stats.io_accesses), stats.cpu_ms,
+              stats.peak_memory_mb(), stats.pairs,
+              static_cast<long long>(stats.loops));
   std::fflush(stdout);
 }
 

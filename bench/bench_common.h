@@ -39,6 +39,12 @@ struct BenchConfig {
   int weight_clusters = 0;  // 0 = independent weights (Figure 12 sets >0)
   uint64_t seed = 20090824;
 
+  /// Section 7.6 setting (Figure 17): objects in a main-memory R-tree,
+  /// function lists on the simulated disk. When false (the standard
+  /// setting), objects live on the simulated disk behind the LRU buffer
+  /// and functions are indexed in memory.
+  bool disk_resident_functions = false;
+
   /// Pre-generated object points override the synthetic generator
   /// (used by the real-data benches).
   const std::vector<Point>* points_override = nullptr;
@@ -50,43 +56,17 @@ BenchConfig Scale(BenchConfig config);
 /// Generates the problem instance for a configuration.
 AssignmentProblem BuildProblem(const BenchConfig& config);
 
-/// Algorithms runnable by the harness.
-enum class Algo {
-  kSB,                // fully optimized SB
-  kSBUpdateSkyline,   // Algorithm 1 + UpdateSkyline, no 5.1/5.3 opts
-  kSBDeltaSky,        // Algorithm 1 + DeltaSky, no 5.1/5.3 opts
-  kSBTwoSkylines,     // Section 6.2 variant
-  kBruteForce,
-  kChain,
-  // Disk-resident-F setting (Figure 17): objects in memory, function
-  // lists on the simulated disk.
-  kSBDiskF,
-  kSBAlt,
-  kBruteForceDiskF,
-  kChainDiskF,
-};
-
-const char* AlgoName(Algo algo);
-
-/// One result row.
-struct RunRow {
-  std::string algo;
-  int64_t io = 0;
-  double cpu_ms = 0.0;
-  double mem_mb = 0.0;
-  size_t pairs = 0;
-  int64_t loops = 0;
-};
-
-/// Runs `algo` on a fresh R-tree built from `problem`. The object tree
-/// is disk-paged for the standard algorithms and memory-resident for
-/// the disk-F ones, per the paper's Section 7 / 7.6 settings.
-RunRow Run(Algo algo, const AssignmentProblem& problem,
-           const BenchConfig& config);
+/// Runs the registered matcher `name` (engine/registry.h) on a fresh
+/// R-tree built from `problem`, with storage laid out per
+/// `config.disk_resident_functions` (Section 7 vs 7.6 settings) and all
+/// instrumentation aggregated through one ExecContext. Unknown names
+/// abort with a message listing the registry contents.
+RunStats Run(const std::string& name, const AssignmentProblem& problem,
+             const BenchConfig& config);
 
 /// Output helpers.
 void PrintHeader(const std::string& figure, const std::string& subtitle);
-void PrintRow(const std::string& x, const RunRow& row);
+void PrintRow(const std::string& x, const RunStats& stats);
 
 }  // namespace fairmatch::bench
 

@@ -15,8 +15,7 @@ int main() {
     config.dims = dims;
     config = Scale(config);
     AssignmentProblem problem = BuildProblem(config);
-    for (Algo algo :
-         {Algo::kSB, Algo::kSBUpdateSkyline, Algo::kSBDeltaSky}) {
+    for (const char* algo : {"SB", "SB-UpdateSkyline", "SB-DeltaSky"}) {
       PrintRow(std::to_string(dims), Run(algo, problem, config));
     }
   }

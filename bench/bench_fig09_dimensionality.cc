@@ -19,7 +19,7 @@ int main() {
       config.distribution = dist;
       config = Scale(config);
       AssignmentProblem problem = BuildProblem(config);
-      for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+      for (const char* algo : {"SB", "BruteForce", "Chain"}) {
         PrintRow(std::to_string(dims), Run(algo, problem, config));
       }
     }

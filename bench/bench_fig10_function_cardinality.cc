@@ -12,7 +12,7 @@ int main() {
     config.num_functions = nf;
     config = Scale(config);
     AssignmentProblem problem = BuildProblem(config);
-    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+    for (const char* algo : {"SB", "BruteForce", "Chain"}) {
       PrintRow(std::to_string(nf), Run(algo, problem, config));
     }
   }

@@ -12,7 +12,7 @@ int main() {
     config.num_objects = no;
     config = Scale(config);
     AssignmentProblem problem = BuildProblem(config);
-    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+    for (const char* algo : {"SB", "BruteForce", "Chain"}) {
       PrintRow(std::to_string(no), Run(algo, problem, config));
     }
   }

@@ -13,7 +13,7 @@ int main() {
     config.weight_clusters = clusters;
     config = Scale(config);
     AssignmentProblem problem = BuildProblem(config);
-    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+    for (const char* algo : {"SB", "BruteForce", "Chain"}) {
       PrintRow(std::to_string(clusters), Run(algo, problem, config));
     }
   }

@@ -16,7 +16,7 @@ int main() {
     AssignmentProblem problem = BuildProblem(config);
     char label[16];
     std::snprintf(label, sizeof(label), "%.0f%%", buffer * 100);
-    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+    for (const char* algo : {"SB", "BruteForce", "Chain"}) {
       PrintRow(label, Run(algo, problem, config));
     }
   }

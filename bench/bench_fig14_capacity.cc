@@ -14,7 +14,7 @@ int main() {
     config.function_capacity = k;
     config = Scale(config);
     AssignmentProblem problem = BuildProblem(config);
-    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+    for (const char* algo : {"SB", "BruteForce", "Chain"}) {
       PrintRow(std::to_string(k), Run(algo, problem, config));
     }
   }
@@ -26,7 +26,7 @@ int main() {
     config.object_capacity = k;
     config = Scale(config);
     AssignmentProblem problem = BuildProblem(config);
-    for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+    for (const char* algo : {"SB", "BruteForce", "Chain"}) {
       PrintRow(std::to_string(k), Run(algo, problem, config));
     }
   }

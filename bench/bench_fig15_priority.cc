@@ -14,8 +14,8 @@ int main() {
     config.max_gamma = gamma;
     config = Scale(config);
     AssignmentProblem problem = BuildProblem(config);
-    for (Algo algo : {Algo::kSB, Algo::kSBTwoSkylines, Algo::kBruteForce,
-                      Algo::kChain}) {
+    for (const char* algo :
+         {"SB", "SB-TwoSkylines", "BruteForce", "Chain"}) {
       PrintRow(std::to_string(gamma), Run(algo, problem, config));
     }
   }

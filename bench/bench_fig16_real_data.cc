@@ -19,7 +19,7 @@ int main() {
       config = Scale(config);
       config.points_override = &all_points;
       AssignmentProblem problem = BuildProblem(config);
-      for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+      for (const char* algo : {"SB", "BruteForce", "Chain"}) {
         PrintRow(std::to_string(no), Run(algo, problem, config));
       }
     }
@@ -37,7 +37,7 @@ int main() {
       config.function_capacity = k;
       config.points_override = &nba;
       AssignmentProblem problem = BuildProblem(config);
-      for (Algo algo : {Algo::kSB, Algo::kBruteForce, Algo::kChain}) {
+      for (const char* algo : {"SB", "BruteForce", "Chain"}) {
         PrintRow(std::to_string(k), Run(algo, problem, config));
       }
     }

@@ -19,10 +19,10 @@ int main() {
       config.num_objects = 5000;
       config.dims = dims;
       config.distribution = dist;
+      config.disk_resident_functions = true;
       config = Scale(config);
       AssignmentProblem problem = BuildProblem(config);
-      for (Algo algo : {Algo::kSBDiskF, Algo::kSBAlt,
-                        Algo::kBruteForceDiskF, Algo::kChainDiskF}) {
+      for (const char* algo : {"SB", "SB-alt", "BruteForce", "Chain"}) {
         PrintRow(std::to_string(dims), Run(algo, problem, config));
       }
     }

@@ -9,10 +9,10 @@
 #include <cstdio>
 #include <map>
 
-#include "fairmatch/assign/two_skyline.h"
 #include "fairmatch/assign/verifier.h"
 #include "fairmatch/common/rng.h"
 #include "fairmatch/data/synthetic.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/rtree/node_store.h"
 
 using namespace fairmatch;
@@ -34,7 +34,13 @@ int main() {
   RTree tree(&store);
   BuildObjectTree(problem, &tree);
 
-  AssignResult result = TwoSkylineAssignment(problem, tree);
+  ExecContext ctx;
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &tree;
+  env.ctx = &ctx;
+  auto matcher = MatcherRegistry::Global().Create("SB-TwoSkylines", env);
+  AssignResult result = matcher->Run();
 
   std::printf("applicants=%d apartments=%d assigned=%zu (cpu=%.1f ms, "
               "loops=%lld)\n",

@@ -9,10 +9,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "fairmatch/assign/sb.h"
 #include "fairmatch/assign/verifier.h"
 #include "fairmatch/common/rng.h"
 #include "fairmatch/data/synthetic.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/topk/ranked_search.h"
 
@@ -48,8 +48,13 @@ int main() {
   RTree tree(&store);
   BuildObjectTree(problem, &tree);
 
-  SBAssignment sb(&problem, &tree, SBOptions{});
-  AssignResult result = sb.Run();
+  ExecContext ctx;
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &tree;
+  env.ctx = &ctx;
+  auto matcher = MatcherRegistry::Global().Create("SB", env);
+  AssignResult result = matcher->Run();
 
   std::printf("students=%d postings=%d openings=%d assigned=%zu "
               "(loops=%lld, cpu=%.1f ms)\n",

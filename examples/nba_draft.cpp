@@ -5,11 +5,11 @@
 // Build & run:   ./build/examples/example_nba_draft
 #include <cstdio>
 
-#include "fairmatch/assign/sb.h"
 #include "fairmatch/assign/verifier.h"
 #include "fairmatch/common/rng.h"
 #include "fairmatch/data/real_sim.h"
 #include "fairmatch/data/synthetic.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/rtree/node_store.h"
 
 using namespace fairmatch;
@@ -29,8 +29,13 @@ int main() {
   RTree tree(&store);
   BuildObjectTree(problem, &tree);
 
-  SBAssignment sb(&problem, &tree, SBOptions{});
-  AssignResult result = sb.Run();
+  ExecContext ctx;
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &tree;
+  env.ctx = &ctx;
+  auto matcher = MatcherRegistry::Global().Create("SB", env);
+  AssignResult result = matcher->Run();
 
   std::printf("teams=%d roster=%d player-seasons=%d signed=%zu "
               "(cpu=%.1f ms)\n\n",

@@ -7,8 +7,8 @@
 // Build & run:   ./build/examples/example_quickstart
 #include <cstdio>
 
-#include "fairmatch/assign/sb.h"
 #include "fairmatch/assign/verifier.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/rtree/node_store.h"
 
 using namespace fairmatch;
@@ -43,8 +43,16 @@ int main() {
   RTree tree(&store);
   BuildObjectTree(problem, &tree);
 
-  SBAssignment sb(&problem, &tree, SBOptions{});
-  AssignResult result = sb.Run();
+  // Any registered algorithm runs through the same engine surface; try
+  // "BruteForce" or "Chain" here, or list MatcherRegistry::Global()
+  // .Names() to see all variants.
+  ExecContext ctx;
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &tree;
+  env.ctx = &ctx;
+  auto matcher = MatcherRegistry::Global().Create("SB", env);
+  AssignResult result = matcher->Run();
 
   std::printf("Stable assignment (in discovery order):\n");
   for (const MatchPair& pair : result.matching) {

@@ -36,7 +36,7 @@ std::vector<MatchPair> BestPairEngine::FindMutualPairs(
       // Compare the cached best only against newcomers.
       Best& best = it->second;
       for (const MemberCandidate& m : members) {
-        if (!added_set.contains(m.oid)) continue;
+        if (added_set.count(m.oid) == 0) continue;
         double s = f.Score(*m.point);
         if (PairBefore(s, fid, m.oid, best.score, fid, best.oid)) {
           best = Best{m.oid, s};
@@ -60,7 +60,7 @@ void BestPairEngine::OnObjectsRemoved(const std::vector<ObjectId>& removed) {
   if (removed.empty() || obest_.empty()) return;
   std::unordered_set<ObjectId> removed_set(removed.begin(), removed.end());
   for (auto it = obest_.begin(); it != obest_.end();) {
-    if (removed_set.contains(it->second.oid)) {
+    if (removed_set.count(it->second.oid) > 0) {
       it = obest_.erase(it);
     } else {
       ++it;

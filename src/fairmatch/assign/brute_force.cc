@@ -7,6 +7,7 @@
 #include "fairmatch/common/check.h"
 #include "fairmatch/common/stats.h"
 #include "fairmatch/common/timer.h"
+#include "fairmatch/engine/exec_context.h"
 #include "fairmatch/topk/ranked_search.h"
 
 namespace fairmatch {
@@ -45,7 +46,9 @@ AssignResult BruteForceAssignment(const AssignmentProblem& problem,
   // One resumable search per function plus its current candidate.
   std::vector<std::unique_ptr<RankedSearch>> searches(fns.size());
   std::vector<ObjectId> candidate(fns.size(), kInvalidObject);
-  MemoryTracker memory;
+  MemoryTracker local_memory;
+  MemoryTracker& memory =
+      options.ctx != nullptr ? options.ctx->memory() : local_memory;
   size_t heap_bytes = 0;
 
   auto advance = [&](FunctionId fid) -> std::optional<RankedHit> {

@@ -19,11 +19,16 @@
 
 namespace fairmatch {
 
+class ExecContext;
+
 struct BruteForceOptions {
   /// When set, the run models disk-resident functions (Section 7.6):
   /// every candidate advance re-fetches the function's coefficients
   /// through the store's buffer (counted I/O).
   DiskFunctionStore* disk_functions = nullptr;
+  /// When set, search-structure memory is reported to the context's
+  /// shared MemoryTracker (engine/exec_context.h).
+  ExecContext* ctx = nullptr;
 };
 
 /// Runs the Brute Force assignment on `tree` (which must contain the

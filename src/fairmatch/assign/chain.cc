@@ -8,6 +8,7 @@
 #include "fairmatch/common/float_util.h"
 #include "fairmatch/common/stats.h"
 #include "fairmatch/common/timer.h"
+#include "fairmatch/engine/exec_context.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/topk/ranked_search.h"
 
@@ -38,10 +39,16 @@ AssignResult ChainAssignment(const AssignmentProblem& problem, RTree* tree,
   // bounds; leaf candidates are rescored exactly (see RankedSearch).
   const bool disk_f = options.disk_functions != nullptr;
   MemNodeStore mem_fstore(dims);
-  PagedNodeStore paged_fstore(dims, /*buffer_frames=*/4096);
+  PagedNodeStore paged_fstore(
+      dims, /*buffer_frames=*/4096,
+      options.ctx != nullptr ? &options.ctx->counters() : nullptr);
   NodeStore* fstore_ptr =
       disk_f ? static_cast<NodeStore*>(&paged_fstore) : &mem_fstore;
   RTree ftree(fstore_ptr);
+  // The counters may be shared with other storage objects (ExecContext),
+  // so the build phase is excluded by restoring this snapshot rather
+  // than zeroing everything accrued so far.
+  const PerfCounters before_build = paged_fstore.counters();
   {
     std::vector<ObjectRecord> records;
     records.reserve(fns.size());
@@ -53,7 +60,8 @@ AssignResult ChainAssignment(const AssignmentProblem& problem, RTree* tree,
     ftree.BulkLoad(std::move(records));
   }
   if (disk_f) {
-    paged_fstore.ResetCounters();
+    paged_fstore.pool().FlushAll();
+    paged_fstore.counters() = before_build;
     paged_fstore.SetBufferFraction(options.function_tree_buffer);
   }
   // Remember each function's stored point for deletion.
@@ -73,7 +81,9 @@ AssignResult ChainAssignment(const AssignmentProblem& problem, RTree* tree,
   std::vector<uint8_t> obj_alive(problem.objects.size(), 1);
   int64_t objects_left = static_cast<int64_t>(problem.objects.size());
 
-  MemoryTracker memory;
+  MemoryTracker local_memory;
+  MemoryTracker& memory =
+      options.ctx != nullptr ? options.ctx->memory() : local_memory;
   std::deque<ChainItem> queue;
 
   // Top-1 object for a function: fresh BRS on the (mutating) object tree.
@@ -175,9 +185,10 @@ AssignResult ChainAssignment(const AssignmentProblem& problem, RTree* tree,
 
   result.stats.cpu_ms = timer.ElapsedMs();
   result.stats.peak_memory_bytes = memory.peak();
-  if (disk_f) {
-    // I/O incurred on the disk-resident function R-tree; the caller adds
-    // the coefficient-store traffic it owns.
+  if (disk_f && options.ctx == nullptr) {
+    // No shared context: surface the disk-resident function R-tree's
+    // traffic here so the caller can add the coefficient-store traffic
+    // it owns. With a context, both already land in ctx->counters().
     result.stats.io_accesses = paged_fstore.counters().io_accesses();
   }
   return result;

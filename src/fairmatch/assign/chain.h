@@ -17,6 +17,8 @@
 
 namespace fairmatch {
 
+class ExecContext;
+
 struct ChainOptions {
   /// When set, models disk-resident functions (Section 7.6): the
   /// function R-tree is built on simulated-disk pages behind an LRU
@@ -26,6 +28,10 @@ struct ChainOptions {
   DiskFunctionStore* disk_functions = nullptr;
   /// Buffer fraction for the disk-resident function R-tree.
   double function_tree_buffer = 0.02;
+  /// When set, search-structure memory and the function R-tree's disk
+  /// traffic are reported through the context (engine/exec_context.h)
+  /// instead of a private tracker / RunStats::io_accesses.
+  ExecContext* ctx = nullptr;
 };
 
 /// Runs Chain. `tree` must contain the problem's objects and is

@@ -60,13 +60,18 @@ void CanonicalizeMatching(Matching* matching);
 /// True iff the two matchings contain the same (fid, oid) multiset.
 bool SameMatching(Matching a, Matching b);
 
-/// Execution statistics reported by every algorithm.
+/// Execution statistics reported by every algorithm — the paper's three
+/// evaluation axes plus loop/pair counts. This is also the row format
+/// the bench harness prints (bench/bench_common.h); matchers created
+/// through the engine registry fill every field the same way.
 struct RunStats {
   std::string algorithm;
   double cpu_ms = 0.0;
   int64_t io_accesses = 0;
   size_t peak_memory_bytes = 0;
   int64_t loops = 0;
+  /// Number of emitted assignments (== Matching::size()).
+  size_t pairs = 0;
 
   double peak_memory_mb() const {
     return static_cast<double>(peak_memory_bytes) / (1024.0 * 1024.0);

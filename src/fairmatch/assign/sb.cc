@@ -6,13 +6,18 @@
 #include "fairmatch/common/check.h"
 #include "fairmatch/common/stats.h"
 #include "fairmatch/common/timer.h"
+#include "fairmatch/engine/exec_context.h"
 
 namespace fairmatch {
 
 SBAssignment::SBAssignment(const AssignmentProblem* problem,
                            const RTree* tree, SBOptions options,
-                           FunctionIndexBase* fn_index)
-    : problem_(problem), tree_(tree), options_(options), fn_index_(fn_index) {}
+                           FunctionIndexBase* fn_index, ExecContext* ctx)
+    : problem_(problem),
+      tree_(tree),
+      options_(options),
+      fn_index_(fn_index),
+      ctx_(ctx) {}
 
 bool SBAssignment::RefreshCandidate(ObjectState* state, const Point& point) {
   if (options_.best_pair_mode == BestPairMode::kExhaustive) {
@@ -80,7 +85,8 @@ AssignResult SBAssignment::Run() {
       options_.skyline_mode == SkylineMode::kUpdateSkyline;
 
   BestPairEngine engine(&fns);
-  MemoryTracker memory;
+  MemoryTracker local_memory;
+  MemoryTracker& memory = ctx_ != nullptr ? ctx_->memory() : local_memory;
   std::vector<ObjectId> odel;
   std::unordered_set<ObjectId> known_members;
   bool first = true;
@@ -120,8 +126,7 @@ AssignResult SBAssignment::Run() {
       }
       members.push_back(
           MemberCandidate{m.id, &m.point, state.cand_fid, state.cand_score});
-      if (!known_members.contains(m.id)) {
-        known_members.insert(m.id);
+      if (known_members.insert(m.id).second) {
         added.push_back(m.id);
       }
     });

@@ -21,6 +21,8 @@
 
 namespace fairmatch {
 
+class ExecContext;
+
 /// Which skyline maintenance module SB uses.
 enum class SkylineMode {
   kUpdateSkyline,  // the paper's Algorithm 2 (I/O-optimal)
@@ -52,8 +54,12 @@ class SBAssignment {
   /// null an in-memory FunctionLists index is built (its construction
   /// time is charged to the run, matching the paper's accounting);
   /// passing a DiskFunctionStore yields the disk-resident-F setting.
+  /// When `ctx` is given, search-structure memory is reported to its
+  /// shared MemoryTracker (engine/exec_context.h) instead of a private
+  /// one.
   SBAssignment(const AssignmentProblem* problem, const RTree* tree,
-               SBOptions options, FunctionIndexBase* fn_index = nullptr);
+               SBOptions options, FunctionIndexBase* fn_index = nullptr,
+               ExecContext* ctx = nullptr);
 
   /// Runs the assignment to completion.
   AssignResult Run();
@@ -75,6 +81,7 @@ class SBAssignment {
   const RTree* tree_;
   SBOptions options_;
   FunctionIndexBase* fn_index_;
+  ExecContext* ctx_;
 
   std::unique_ptr<FunctionLists> owned_lists_;
   std::unique_ptr<ReverseTop1> rt1_;

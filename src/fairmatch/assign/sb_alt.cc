@@ -10,6 +10,7 @@
 #include "fairmatch/common/check.h"
 #include "fairmatch/common/stats.h"
 #include "fairmatch/common/timer.h"
+#include "fairmatch/engine/exec_context.h"
 #include "fairmatch/skyline/bbs.h"
 
 namespace fairmatch {
@@ -36,7 +37,8 @@ double TightThreshold(const Point& o, const std::vector<int>& dim_order,
 }  // namespace
 
 AssignResult SBAltAssignment(const AssignmentProblem& problem,
-                             const RTree& tree, DiskFunctionStore* store) {
+                             const RTree& tree, DiskFunctionStore* store,
+                             ExecContext* ctx) {
   Timer timer;
   AssignResult result;
   result.stats.algorithm = "SB-alt";
@@ -54,7 +56,8 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
 
   SkylineManager sky_mgr(&tree);
   BestPairEngine engine(&fns);
-  MemoryTracker memory;
+  MemoryTracker local_memory;
+  MemoryTracker& memory = ctx != nullptr ? ctx->memory() : local_memory;
   std::vector<ObjectId> odel;
   std::unordered_set<ObjectId> known_members;
   bool first = true;
@@ -189,8 +192,7 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
       }
       candidates.push_back(
           MemberCandidate{mem.oid, mem.point, mem.best_f, mem.best_s});
-      if (!known_members.contains(mem.oid)) {
-        known_members.insert(mem.oid);
+      if (known_members.insert(mem.oid).second) {
         added.push_back(mem.oid);
       }
     }

@@ -17,11 +17,16 @@
 
 namespace fairmatch {
 
+class ExecContext;
+
 /// Runs SB-alt. `tree` holds the objects (typically a MemNodeStore tree:
 /// in the Figure 17 setting O fits in memory); `store` holds the
-/// disk-resident function lists.
+/// disk-resident function lists. When `ctx` is given, search-structure
+/// memory is reported to its shared MemoryTracker
+/// (engine/exec_context.h).
 AssignResult SBAltAssignment(const AssignmentProblem& problem,
-                             const RTree& tree, DiskFunctionStore* store);
+                             const RTree& tree, DiskFunctionStore* store,
+                             ExecContext* ctx = nullptr);
 
 }  // namespace fairmatch
 

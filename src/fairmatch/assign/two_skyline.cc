@@ -12,6 +12,7 @@
 #include "fairmatch/common/check.h"
 #include "fairmatch/common/stats.h"
 #include "fairmatch/common/timer.h"
+#include "fairmatch/engine/exec_context.h"
 #include "fairmatch/skyline/bbs.h"
 
 namespace fairmatch {
@@ -118,7 +119,7 @@ class FunctionSkyline {
 }  // namespace
 
 AssignResult TwoSkylineAssignment(const AssignmentProblem& problem,
-                                  const RTree& tree) {
+                                  const RTree& tree, ExecContext* ctx) {
   Timer timer;
   AssignResult result;
   result.stats.algorithm = "SB-TwoSkylines";
@@ -134,7 +135,8 @@ AssignResult TwoSkylineAssignment(const AssignmentProblem& problem,
   SkylineManager sky_mgr(&tree);
   FunctionSkyline fsky(fns);
   BestPairEngine engine(&fns);
-  MemoryTracker memory;
+  MemoryTracker local_memory;
+  MemoryTracker& memory = ctx != nullptr ? ctx->memory() : local_memory;
 
   // Per-object candidate cache. A cached candidate stays the best
   // function: F only shrinks, and a function promoted into F_sky was
@@ -185,8 +187,7 @@ AssignResult TwoSkylineAssignment(const AssignmentProblem& problem,
         }
       }
       members.push_back(MemberCandidate{m.id, &m.point, cand.fid, cand.score});
-      if (!known_members.contains(m.id)) {
-        known_members.insert(m.id);
+      if (known_members.insert(m.id).second) {
         added.push_back(m.id);
       }
     });

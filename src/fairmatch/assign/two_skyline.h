@@ -15,10 +15,15 @@
 
 namespace fairmatch {
 
+class ExecContext;
+
 /// Runs the two-skyline prioritized assignment on `tree` (which must
-/// contain the problem's objects).
+/// contain the problem's objects). When `ctx` is given, search-structure
+/// memory is reported to its shared MemoryTracker
+/// (engine/exec_context.h).
 AssignResult TwoSkylineAssignment(const AssignmentProblem& problem,
-                                  const RTree& tree);
+                                  const RTree& tree,
+                                  ExecContext* ctx = nullptr);
 
 }  // namespace fairmatch
 

@@ -1,0 +1,80 @@
+// Unified per-run instrumentation for the matcher engine.
+//
+// The paper evaluates every algorithm along the same three axes — I/O
+// accesses, CPU time, and peak memory held by search structures — but
+// the seed code plumbed each axis separately: every storage entity owned
+// a private PerfCounters, every algorithm a private MemoryTracker and
+// Timer, and callers stitched the numbers together by hand (summing a
+// store's counters with I/O smuggled through RunStats::io_accesses).
+//
+// ExecContext replaces that with one instrumentation object per run.
+// Storage backends (PagedNodeStore, DiskFunctionStore, an algorithm's
+// private disk structures) are constructed against the context's
+// PerfCounters so all simulated-disk traffic lands in one place;
+// algorithms report structure sizes to the context's MemoryTracker; the
+// wall clock runs from BeginRun() to Finish(). Finish() then produces a
+// fully populated RunStats the same way for every matcher.
+#ifndef FAIRMATCH_ENGINE_EXEC_CONTEXT_H_
+#define FAIRMATCH_ENGINE_EXEC_CONTEXT_H_
+
+#include <string>
+
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/common/stats.h"
+#include "fairmatch/common/timer.h"
+
+namespace fairmatch {
+
+/// One run's worth of instrumentation: shared I/O counters, a shared
+/// memory tracker, and the run wall clock. Create one per measured run
+/// (the object is cheap); pass it to every storage object and matcher
+/// participating in the run.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  /// Shared simulated-disk counters. Storage objects constructed with
+  /// `&counters()` contribute their traffic here.
+  PerfCounters& counters() { return counters_; }
+  const PerfCounters& counters() const { return counters_; }
+
+  /// Shared search-structure memory tracker.
+  MemoryTracker& memory() { return memory_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+  /// Restarts the wall clock and zeroes the memory tracker. Does NOT
+  /// reset counters(): storage objects own their measured-phase resets
+  /// (e.g. PagedNodeStore::ResetCounters after bulk load), and a fresh
+  /// context starts at zero anyway.
+  void BeginRun() {
+    timer_.Restart();
+    memory_.Reset();
+  }
+
+  double ElapsedMs() const { return timer_.ElapsedMs(); }
+
+  /// Fills `stats` the uniform way: wall-clock CPU time since
+  /// BeginRun(), total I/O from the shared counters, and the larger of
+  /// the shared tracker's peak and whatever the algorithm already
+  /// reported (algorithms without context threading keep their own
+  /// number).
+  void Finish(RunStats* stats) const {
+    stats->cpu_ms = timer_.ElapsedMs();
+    stats->io_accesses = counters_.io_accesses();
+    if (memory_.peak() > stats->peak_memory_bytes) {
+      stats->peak_memory_bytes = memory_.peak();
+    }
+  }
+
+ private:
+  PerfCounters counters_;
+  MemoryTracker memory_;
+  Timer timer_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ENGINE_EXEC_CONTEXT_H_

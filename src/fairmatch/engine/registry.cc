@@ -1,0 +1,43 @@
+#include "fairmatch/engine/registry.h"
+
+namespace fairmatch {
+
+// Defined in builtin_matchers.cc; referenced here so the registration
+// translation unit is always pulled out of the static library.
+void RegisterBuiltinMatchers(MatcherRegistry* registry);
+
+MatcherRegistry& MatcherRegistry::Global() {
+  static MatcherRegistry* registry = [] {
+    auto* r = new MatcherRegistry();
+    RegisterBuiltinMatchers(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void MatcherRegistry::Register(MatcherInfo info) {
+  entries_[info.name] = std::move(info);
+}
+
+const MatcherInfo* MatcherRegistry::Find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Matcher> MatcherRegistry::Create(
+    const std::string& name, const MatcherEnv& env) const {
+  const MatcherInfo* info = Find(name);
+  if (info == nullptr) return nullptr;
+  if (env.problem == nullptr || env.tree == nullptr) return nullptr;
+  if (info->needs_disk_functions && env.fn_store == nullptr) return nullptr;
+  return info->factory(env);
+}
+
+std::vector<std::string> MatcherRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, info] : entries_) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+}  // namespace fairmatch

@@ -46,8 +46,11 @@ void NodeHandle::Release() {
   pid_ = kInvalidPage;
 }
 
-PagedNodeStore::PagedNodeStore(int dims, size_t buffer_frames)
-    : NodeStore(dims), pool_(&disk_, buffer_frames, &counters_) {}
+PagedNodeStore::PagedNodeStore(int dims, size_t buffer_frames,
+                               PerfCounters* counters)
+    : NodeStore(dims),
+      counters_(counters != nullptr ? counters : &own_counters_),
+      pool_(&disk_, buffer_frames, counters_) {}
 
 NodeHandle PagedNodeStore::Read(PageId pid) {
   return NodeHandle(pool_.FetchPage(pid), dims(), /*writable=*/false);
@@ -72,7 +75,7 @@ void PagedNodeStore::SetBufferFraction(double fraction) {
 
 void PagedNodeStore::ResetCounters() {
   pool_.FlushAll();
-  counters_.Reset();
+  counters_->Reset();
 }
 
 NodeHandle MemNodeStore::Read(PageId pid) {

@@ -88,7 +88,11 @@ class PagedNodeStore : public NodeStore {
  public:
   /// `buffer_frames` is the initial LRU capacity; use
   /// SetBufferFraction() after bulk load to size it as a % of the file.
-  PagedNodeStore(int dims, size_t buffer_frames);
+  /// When `counters` is non-null (typically an ExecContext's shared
+  /// counters), this store's traffic is accounted there instead of in a
+  /// private PerfCounters; `counters` must outlive the store.
+  PagedNodeStore(int dims, size_t buffer_frames,
+                 PerfCounters* counters = nullptr);
 
   NodeHandle Read(PageId pid) override;
   NodeHandle Write(PageId pid) override;
@@ -104,14 +108,15 @@ class PagedNodeStore : public NodeStore {
   /// build phase and the measured phase.
   void ResetCounters();
 
-  PerfCounters& counters() { return counters_; }
-  const PerfCounters& counters() const { return counters_; }
+  PerfCounters& counters() { return *counters_; }
+  const PerfCounters& counters() const { return *counters_; }
   BufferPool& pool() { return pool_; }
   DiskManager& disk() { return disk_; }
 
  private:
   DiskManager disk_;
-  PerfCounters counters_;
+  PerfCounters own_counters_;
+  PerfCounters* counters_;  // own_counters_ or an injected external one
   BufferPool pool_;
 };
 

@@ -80,7 +80,7 @@ void DeltaSkyManager::Remove(ObjectId id) {
         }
         if (sky_.FindDominator(corner, corner.Sum()) >= 0) continue;
       } else {
-        if (removed_.contains(e.id)) continue;
+        if (removed_.count(e.id) > 0) continue;
         if (sky_.Contains(e.id)) continue;
         // Promotion candidates lie inside the deleted member's
         // dominance region ...

@@ -5,7 +5,7 @@
 namespace fairmatch {
 
 int SkylineSet::Add(const Point& p, ObjectId id) {
-  FAIRMATCH_CHECK(!by_id_.contains(id));
+  FAIRMATCH_CHECK(by_id_.count(id) == 0);
   int slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();

@@ -38,7 +38,7 @@ class SkylineSet {
   /// first (or accepting its loss).
   void Remove(ObjectId id);
 
-  bool Contains(ObjectId id) const { return by_id_.contains(id); }
+  bool Contains(ObjectId id) const { return by_id_.count(id) > 0; }
   int SlotOf(ObjectId id) const;
 
   SkylineObject& at(int slot) { return slots_[slot]; }

@@ -8,8 +8,10 @@
 namespace fairmatch {
 
 DiskFunctionStore::DiskFunctionStore(const FunctionSet& fns,
-                                     double buffer_fraction)
-    : pool_(&disk_, /*capacity_frames=*/1024, &counters_) {
+                                     double buffer_fraction,
+                                     PerfCounters* counters)
+    : counters_(counters != nullptr ? counters : &own_counters_),
+      pool_(&disk_, /*capacity_frames=*/1024, counters_) {
   FAIRMATCH_CHECK(!fns.empty());
   dims_ = fns[0].dims;
   num_functions_ = static_cast<int>(fns.size());
@@ -83,7 +85,7 @@ int DiskFunctionStore::ReadListPage(int dim, int64_t page_index,
 
 void DiskFunctionStore::ResetCounters() {
   pool_.FlushAll();
-  counters_.Reset();
+  counters_->Reset();
 }
 
 void DiskFunctionStore::SetBufferFraction(double fraction) {

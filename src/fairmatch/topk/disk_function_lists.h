@@ -37,7 +37,13 @@ class DiskFunctionStore : public FunctionIndexBase {
  public:
   /// Builds the lists from `fns` and flushes them to the simulated disk.
   /// `buffer_fraction` sizes the LRU buffer as a fraction of the file.
-  DiskFunctionStore(const FunctionSet& fns, double buffer_fraction);
+  /// When `counters` is non-null (typically an ExecContext's shared
+  /// counters), traffic is accounted there instead of in a private
+  /// PerfCounters; `counters` must outlive the store. Construction
+  /// traffic is excluded either way (counters are reset at the end of
+  /// the constructor).
+  DiskFunctionStore(const FunctionSet& fns, double buffer_fraction,
+                    PerfCounters* counters = nullptr);
 
   int dims() const override { return dims_; }
   int size() const override { return num_functions_; }
@@ -72,7 +78,7 @@ class DiskFunctionStore : public FunctionIndexBase {
   double gamma_of(FunctionId fid) const { return gamma_[fid]; }
   int capacity_of(FunctionId fid) const { return capacity_[fid]; }
 
-  PerfCounters& counters() { return counters_; }
+  PerfCounters& counters() { return *counters_; }
   void ResetCounters();
   void SetBufferFraction(double fraction);
   int64_t num_pages() const { return disk_.num_pages(); }
@@ -81,7 +87,8 @@ class DiskFunctionStore : public FunctionIndexBase {
   double RandomCoef(int dim, FunctionId fid);
 
   DiskManager disk_;
-  PerfCounters counters_;
+  PerfCounters own_counters_;
+  PerfCounters* counters_;  // own_counters_ or an injected external one
   BufferPool pool_;
   std::vector<std::unique_ptr<PagedFile>> lists_;
   // pos_[dim][fid] = index of fid's record in list `dim`.

@@ -1,13 +1,14 @@
 // Correctness of the assignment algorithms on the standard problem:
-// SB (all optimization combinations), Brute Force and Chain must produce
-// exactly the matching defined by iterative best-pair extraction.
+// every matcher in the engine registry must produce exactly the
+// matching defined by iterative best-pair extraction (plus targeted
+// SB-option ablations, which are SBOptions knobs rather than registry
+// variants).
 #include <gtest/gtest.h>
 
-#include "fairmatch/assign/brute_force.h"
-#include "fairmatch/assign/chain.h"
 #include "fairmatch/assign/naive_matcher.h"
 #include "fairmatch/assign/sb.h"
 #include "fairmatch/assign/verifier.h"
+#include "fairmatch/engine/registry.h"
 #include "test_util.h"
 
 namespace fairmatch {
@@ -18,6 +19,7 @@ using fairmatch::testing::GridPoints;
 using fairmatch::testing::MemTree;
 using fairmatch::testing::ProblemSpec;
 using fairmatch::testing::RandomProblem;
+using fairmatch::testing::RunRegisteredMatcher;
 
 std::string Describe(const Matching& m) {
   std::string out;
@@ -36,31 +38,15 @@ void ExpectSame(const Matching& got, const Matching& want,
 
 class AssignParamTest : public ::testing::TestWithParam<ProblemSpec> {};
 
-TEST_P(AssignParamTest, SBMatchesNaive) {
+TEST_P(AssignParamTest, EveryRegisteredMatcherMatchesNaive) {
   AssignmentProblem problem = RandomProblem(GetParam());
   Matching want = NaiveStableMatching(problem);
-  MemTree mem(problem);
-  SBAssignment sb(&problem, &mem.tree, SBOptions{});
-  AssignResult got = sb.Run();
-  ExpectSame(got.matching, want, "SB vs naive");
-  auto verdict = VerifyStableMatching(problem, got.matching);
-  EXPECT_TRUE(verdict.ok) << verdict.message;
-}
-
-TEST_P(AssignParamTest, BruteForceMatchesNaive) {
-  AssignmentProblem problem = RandomProblem(GetParam());
-  Matching want = NaiveStableMatching(problem);
-  MemTree mem(problem);
-  AssignResult got = BruteForceAssignment(problem, mem.tree);
-  ExpectSame(got.matching, want, "BruteForce vs naive");
-}
-
-TEST_P(AssignParamTest, ChainMatchesNaive) {
-  AssignmentProblem problem = RandomProblem(GetParam());
-  Matching want = NaiveStableMatching(problem);
-  MemTree mem(problem);
-  AssignResult got = ChainAssignment(problem, &mem.tree);
-  ExpectSame(got.matching, want, "Chain vs naive");
+  for (const std::string& name : MatcherRegistry::Global().Names()) {
+    AssignResult got = RunRegisteredMatcher(name, problem);
+    ExpectSame(got.matching, want, name + " vs naive");
+    auto verdict = VerifyStableMatching(problem, got.matching);
+    EXPECT_TRUE(verdict.ok) << name << ": " << verdict.message;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -169,28 +155,22 @@ TEST(AssignTieTest, GridInstancesAllAlgorithmsAgree) {
     FunctionSet fns = GridFunctions(25, 3, 3, 4000 + seed);
     AssignmentProblem problem = MakeProblem(points, fns);
     Matching want = NaiveStableMatching(problem);
-    {
-      MemTree mem(problem);
-      SBAssignment sb(&problem, &mem.tree, SBOptions{});
-      Matching got = sb.Run().matching;
-      auto verdict = VerifyStableMatching(problem, got);
-      EXPECT_TRUE(verdict.ok)
-          << "SB grid seed=" << seed << ": " << verdict.message;
-      EXPECT_EQ(got.size(), want.size()) << "SB grid seed=" << seed;
-      MemTree mem2(problem);
-      SBAssignment sb2(&problem, &mem2.tree, SBOptions{});
-      ExpectSame(sb2.Run().matching, got,
-                 "SB determinism seed=" + std::to_string(seed));
-    }
-    {
-      MemTree mem(problem);
-      ExpectSame(BruteForceAssignment(problem, mem.tree).matching, want,
-                 "BF grid seed=" + std::to_string(seed));
-    }
-    {
-      MemTree mem(problem);
-      ExpectSame(ChainAssignment(problem, &mem.tree).matching, want,
-                 "Chain grid seed=" + std::to_string(seed));
+    for (const std::string& name : MatcherRegistry::Global().Names()) {
+      const MatcherInfo* info = MatcherRegistry::Global().Find(name);
+      std::string label = name + " grid seed=" + std::to_string(seed);
+      Matching got = RunRegisteredMatcher(name, problem).matching;
+      if (info->exact_under_ties) {
+        ExpectSame(got, want, label);
+      } else {
+        // The SB family: stable, same size, deterministic — but free to
+        // resolve exact score ties differently from the full-scan
+        // algorithms (see the contract above).
+        auto verdict = VerifyStableMatching(problem, got);
+        EXPECT_TRUE(verdict.ok) << label << ": " << verdict.message;
+        EXPECT_EQ(got.size(), want.size()) << label;
+        ExpectSame(RunRegisteredMatcher(name, problem).matching, got,
+                   label + " determinism");
+      }
     }
   }
 }
@@ -209,9 +189,7 @@ TEST(AssignTieTest, IdenticalFunctionsShareObjectsDeterministically) {
   auto points = GeneratePoints(Distribution::kIndependent, 30, 2, &rng);
   AssignmentProblem problem = MakeProblem(points, fns);
   Matching want = NaiveStableMatching(problem);
-  MemTree mem(problem);
-  SBAssignment sb(&problem, &mem.tree, SBOptions{});
-  Matching got = sb.Run().matching;
+  Matching got = RunRegisteredMatcher("SB", problem).matching;
   ExpectSame(got, want, "identical functions");
   // All five matched (|F| < |O|).
   EXPECT_EQ(got.size(), 5u);
@@ -235,9 +213,7 @@ TEST(AssignTest, PaperRunningExample) {
   points[3][1] = 0.4f;  // d
   AssignmentProblem problem = MakeProblem(points, fns);
 
-  MemTree mem(problem);
-  SBAssignment sb(&problem, &mem.tree, SBOptions{});
-  Matching got = sb.Run().matching;
+  Matching got = RunRegisteredMatcher("SB", problem).matching;
   CanonicalizeMatching(&got);
   // The paper's outcome: c -> f1, b -> f2, a -> f3.
   ASSERT_EQ(got.size(), 3u);
@@ -255,9 +231,7 @@ TEST(AssignTest, ProgressiveOutputOrderIsDescendingScore) {
   spec.num_objects = 150;
   spec.seed = 6006;
   AssignmentProblem problem = RandomProblem(spec);
-  MemTree mem(problem);
-  SBAssignment sb(&problem, &mem.tree, SBOptions{});
-  Matching got = sb.Run().matching;
+  Matching got = RunRegisteredMatcher("SB", problem).matching;
   // Multi-pair loops emit batches, and batches are in score order across
   // loops: the first pair of the run is the global maximum.
   Matching naive = NaiveStableMatching(problem);

@@ -3,14 +3,18 @@
 #define FAIRMATCH_TESTS_TEST_UTIL_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fairmatch/assign/problem.h"
+#include "fairmatch/common/check.h"
 #include "fairmatch/common/rng.h"
 #include "fairmatch/data/synthetic.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/geom/point.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/rtree/rtree.h"
+#include "fairmatch/topk/disk_function_lists.h"
 
 namespace fairmatch::testing {
 
@@ -89,6 +93,37 @@ struct MemTree {
   MemNodeStore store;
   RTree tree;
 };
+
+/// Runs the registered matcher `name` on a fresh in-memory tree (safe
+/// for tree-mutating matchers). A disk-resident function store is built
+/// where the variant requires one, or for any variant when
+/// `force_disk_functions` is set (the Section 7.6 test setting).
+/// Instrumentation goes through `ctx` when given.
+inline AssignResult RunRegisteredMatcher(const std::string& name,
+                                         const AssignmentProblem& problem,
+                                         ExecContext* ctx = nullptr,
+                                         bool force_disk_functions = false,
+                                         double buffer_fraction = 0.02) {
+  const MatcherInfo* info = MatcherRegistry::Global().Find(name);
+  FAIRMATCH_CHECK(info != nullptr);
+  MemTree mem(problem);
+  std::unique_ptr<DiskFunctionStore> fstore;
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &mem.tree;
+  env.buffer_fraction = buffer_fraction;
+  env.ctx = ctx;
+  if (info->needs_disk_functions || force_disk_functions) {
+    fstore = std::make_unique<DiskFunctionStore>(
+        problem.functions, buffer_fraction,
+        ctx != nullptr ? &ctx->counters() : nullptr);
+    env.fn_store = fstore.get();
+  }
+  std::unique_ptr<Matcher> matcher =
+      MatcherRegistry::Global().Create(name, env);
+  FAIRMATCH_CHECK(matcher != nullptr);
+  return matcher->Run();
+}
 
 /// Brute-force skyline of a point set (paper dominance: >= everywhere,
 /// not coincident).

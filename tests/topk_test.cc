@@ -104,7 +104,9 @@ TEST(RankedSearchTest, AliveFilterSkipsDeadObjects) {
   int count = 0;
   while (auto hit = search.Next(&alive)) {
     EXPECT_TRUE(alive[hit->id]);
-    if (last.has_value()) EXPECT_LE(hit->score, *last);
+    if (last.has_value()) {
+      EXPECT_LE(hit->score, *last);
+    }
     last = hit->score;
     count++;
   }

@@ -1,15 +1,17 @@
 // Correctness of the problem variants: capacities (Section 6.1),
-// priorities (Section 6.2, incl. two-skyline) and disk-resident
-// functions (Section 7.6: SB over a disk index, and SB-alt).
+// priorities (Section 6.2) and disk-resident functions (Section 7.6).
+// Variant coverage is registry-driven — every matcher the engine
+// exposes runs on every variant instance; algorithm-specific tests pin
+// behaviors (multi-pair capacity batches, priority ordering, SB-alt's
+// page-bounded batch scan).
 #include <gtest/gtest.h>
 
-#include "fairmatch/assign/brute_force.h"
-#include "fairmatch/assign/chain.h"
+#include <memory>
+#include <string>
+
 #include "fairmatch/assign/naive_matcher.h"
-#include "fairmatch/assign/sb.h"
-#include "fairmatch/assign/sb_alt.h"
-#include "fairmatch/assign/two_skyline.h"
 #include "fairmatch/assign/verifier.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/topk/disk_function_lists.h"
 #include "test_util.h"
 
@@ -19,6 +21,7 @@ namespace {
 using fairmatch::testing::MemTree;
 using fairmatch::testing::ProblemSpec;
 using fairmatch::testing::RandomProblem;
+using fairmatch::testing::RunRegisteredMatcher;
 
 void ExpectSame(const Matching& got, const Matching& want,
                 const std::string& label) {
@@ -28,7 +31,7 @@ void ExpectSame(const Matching& got, const Matching& want,
 class CapacityParamTest
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
-TEST_P(CapacityParamTest, AllAlgorithmsAgreeWithNaive) {
+TEST_P(CapacityParamTest, AllRegisteredMatchersAgreeWithNaive) {
   auto [fcap, ocap] = GetParam();
   ProblemSpec spec;
   spec.num_functions = 12;
@@ -44,20 +47,9 @@ TEST_P(CapacityParamTest, AllAlgorithmsAgreeWithNaive) {
   EXPECT_EQ(static_cast<int64_t>(want.size()),
             std::min(problem.TotalFunctionCapacity(),
                      problem.TotalObjectCapacity()));
-  {
-    MemTree mem(problem);
-    SBAssignment sb(&problem, &mem.tree, SBOptions{});
-    ExpectSame(sb.Run().matching, want, "SB capacitated");
-  }
-  {
-    MemTree mem(problem);
-    ExpectSame(BruteForceAssignment(problem, mem.tree).matching, want,
-               "BF capacitated");
-  }
-  {
-    MemTree mem(problem);
-    ExpectSame(ChainAssignment(problem, &mem.tree).matching, want,
-               "Chain capacitated");
+  for (const std::string& name : MatcherRegistry::Global().Names()) {
+    ExpectSame(RunRegisteredMatcher(name, problem).matching, want,
+               name + " capacitated");
   }
 }
 
@@ -75,9 +67,7 @@ TEST(CapacityTest, SameMultiPairRepeatsAcrossLoops) {
   fns[0] = PrefFunction{0, 2, {0.6, 0.4}, 1.0, 3};
   std::vector<Point> points(1, Point(2, 0.5f));
   AssignmentProblem problem = MakeProblem(points, fns, /*object_capacity=*/3);
-  MemTree mem(problem);
-  SBAssignment sb(&problem, &mem.tree, SBOptions{});
-  Matching got = sb.Run().matching;
+  Matching got = RunRegisteredMatcher("SB", problem).matching;
   ASSERT_EQ(got.size(), 3u);
   for (const auto& p : got) {
     EXPECT_EQ(p.fid, 0);
@@ -87,7 +77,7 @@ TEST(CapacityTest, SameMultiPairRepeatsAcrossLoops) {
 
 class PriorityParamTest : public ::testing::TestWithParam<int> {};
 
-TEST_P(PriorityParamTest, SBAndTwoSkylineAgreeWithNaive) {
+TEST_P(PriorityParamTest, AllRegisteredMatchersAgreeWithNaive) {
   int max_gamma = GetParam();
   ProblemSpec spec;
   spec.num_functions = 25;
@@ -98,25 +88,9 @@ TEST_P(PriorityParamTest, SBAndTwoSkylineAgreeWithNaive) {
   spec.max_gamma = max_gamma;
   AssignmentProblem problem = RandomProblem(spec);
   Matching want = NaiveStableMatching(problem);
-  {
-    MemTree mem(problem);
-    SBAssignment sb(&problem, &mem.tree, SBOptions{});
-    ExpectSame(sb.Run().matching, want, "SB prioritized");
-  }
-  {
-    MemTree mem(problem);
-    AssignResult got = TwoSkylineAssignment(problem, mem.tree);
-    ExpectSame(got.matching, want, "two-skyline prioritized");
-  }
-  {
-    MemTree mem(problem);
-    ExpectSame(BruteForceAssignment(problem, mem.tree).matching, want,
-               "BF prioritized");
-  }
-  {
-    MemTree mem(problem);
-    ExpectSame(ChainAssignment(problem, &mem.tree).matching, want,
-               "Chain prioritized");
+  for (const std::string& name : MatcherRegistry::Global().Names()) {
+    ExpectSame(RunRegisteredMatcher(name, problem).matching, want,
+               name + " prioritized");
   }
 }
 
@@ -135,8 +109,7 @@ TEST(PriorityTest, HigherPriorityWinsContestedObject) {
   points[1][0] = 0.2f;
   points[1][1] = 0.2f;
   AssignmentProblem problem = MakeProblem(points, fns);
-  MemTree mem(problem);
-  AssignResult got = TwoSkylineAssignment(problem, mem.tree);
+  AssignResult got = RunRegisteredMatcher("SB-TwoSkylines", problem);
   CanonicalizeMatching(&got.matching);
   ASSERT_EQ(got.matching.size(), 2u);
   EXPECT_EQ(got.matching[1].fid, 1);
@@ -149,27 +122,34 @@ struct DiskSpec {
   double buffer_fraction;
 };
 
+/// Runs a registered matcher in the Section 7.6 setting: in-memory
+/// object tree, disk-resident function lists shared through one
+/// ExecContext (so RunStats carries the aggregated I/O).
+AssignResult RunDiskF(const std::string& name,
+                      const AssignmentProblem& problem,
+                      double buffer_fraction) {
+  ExecContext ctx;
+  return RunRegisteredMatcher(name, problem, &ctx,
+                              /*force_disk_functions=*/true,
+                              buffer_fraction);
+}
+
 class DiskFunctionParamTest : public ::testing::TestWithParam<DiskSpec> {};
 
 TEST_P(DiskFunctionParamTest, SBOverDiskIndexMatchesNaive) {
   DiskSpec spec = GetParam();
   AssignmentProblem problem = RandomProblem(spec.problem);
   Matching want = NaiveStableMatching(problem);
-  MemTree mem(problem);
-  DiskFunctionStore store(problem.functions, spec.buffer_fraction);
-  SBAssignment sb(&problem, &mem.tree, SBOptions{}, &store);
-  AssignResult got = sb.Run();
+  AssignResult got = RunDiskF("SB", problem, spec.buffer_fraction);
   ExpectSame(got.matching, want, "SB disk-F");
-  EXPECT_GT(store.counters().io_accesses(), 0);
+  EXPECT_GT(got.stats.io_accesses, 0);
 }
 
 TEST_P(DiskFunctionParamTest, SBAltMatchesNaive) {
   DiskSpec spec = GetParam();
   AssignmentProblem problem = RandomProblem(spec.problem);
   Matching want = NaiveStableMatching(problem);
-  MemTree mem(problem);
-  DiskFunctionStore store(problem.functions, spec.buffer_fraction);
-  AssignResult got = SBAltAssignment(problem, mem.tree, &store);
+  AssignResult got = RunDiskF("SB-alt", problem, spec.buffer_fraction);
   ExpectSame(got.matching, want, "SB-alt");
   auto verdict = VerifyStableMatching(problem, got.matching);
   EXPECT_TRUE(verdict.ok) << verdict.message;
@@ -200,9 +180,7 @@ TEST(SBAltTest, CapacitatedDiskRun) {
   spec.object_capacity = 3;
   AssignmentProblem problem = RandomProblem(spec);
   Matching want = NaiveStableMatching(problem);
-  MemTree mem(problem);
-  DiskFunctionStore store(problem.functions, 0.02);
-  AssignResult got = SBAltAssignment(problem, mem.tree, &store);
+  AssignResult got = RunDiskF("SB-alt", problem, 0.02);
   ExpectSame(got.matching, want, "SB-alt capacitated");
 }
 
@@ -216,15 +194,23 @@ TEST(SBAltTest, BatchScanIsPageBounded) {
   spec.dims = 3;
   spec.seed = 707;
   AssignmentProblem problem = RandomProblem(spec);
+  ExecContext ctx;
   MemTree mem(problem);
-  DiskFunctionStore store(problem.functions, 0.0);
-  AssignResult got = SBAltAssignment(problem, mem.tree, &store);
+  DiskFunctionStore store(problem.functions, 0.0, &ctx.counters());
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &mem.tree;
+  env.fn_store = &store;
+  env.ctx = &ctx;
+  auto matcher = MatcherRegistry::Global().Create("SB-alt", env);
+  ASSERT_NE(matcher, nullptr);
+  AssignResult got = matcher->Run();
   EXPECT_EQ(got.matching.size(), 30u);
   int64_t pages = store.pages_per_list();
   // Sequential + random accesses, crude upper bound:
   // loops * D * pages (sequential) + encounters * D (random).
   int64_t bound = got.stats.loops * 3 * pages + 2000LL * 3 * got.stats.loops;
-  EXPECT_LE(store.counters().page_reads, bound);
+  EXPECT_LE(ctx.counters().page_reads, bound);
 }
 
 TEST(PriorityCapacityTest, CombinedVariantsAgree) {
@@ -238,15 +224,9 @@ TEST(PriorityCapacityTest, CombinedVariantsAgree) {
   spec.object_capacity = 2;
   AssignmentProblem problem = RandomProblem(spec);
   Matching want = NaiveStableMatching(problem);
-  {
-    MemTree mem(problem);
-    SBAssignment sb(&problem, &mem.tree, SBOptions{});
-    ExpectSame(sb.Run().matching, want, "SB gamma+cap");
-  }
-  {
-    MemTree mem(problem);
-    AssignResult got = TwoSkylineAssignment(problem, mem.tree);
-    ExpectSame(got.matching, want, "two-skyline gamma+cap");
+  for (const std::string& name : MatcherRegistry::Global().Names()) {
+    ExpectSame(RunRegisteredMatcher(name, problem).matching, want,
+               name + " gamma+cap");
   }
 }
 
