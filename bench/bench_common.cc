@@ -14,18 +14,36 @@
 
 namespace fairmatch::bench {
 
-double ScaleFactor() {
+namespace {
+
+/// --scale override; empty means "use FAIRMATCH_SCALE".
+std::string g_scale_override;
+
+bool KnownScale(const char* name) {
+  return std::strcmp(name, "paper") == 0 || std::strcmp(name, "quick") == 0 ||
+         std::strcmp(name, "smoke") == 0;
+}
+
+}  // namespace
+
+const char* ScaleName() {
+  if (!g_scale_override.empty()) return g_scale_override.c_str();
   const char* env = std::getenv("FAIRMATCH_SCALE");
-  if (env == nullptr || std::strcmp(env, "quick") == 0) return 0.25;
-  if (std::strcmp(env, "paper") == 0) return 1.0;
-  if (std::strcmp(env, "smoke") == 0) return 0.02;
+  if (env == nullptr || !KnownScale(env)) return "quick";
+  return env;
+}
+
+double ScaleFactor() {
+  const char* name = ScaleName();
+  if (std::strcmp(name, "paper") == 0) return 1.0;
+  if (std::strcmp(name, "smoke") == 0) return 0.02;
   return 0.25;
 }
 
-const char* ScaleName() {
-  const char* env = std::getenv("FAIRMATCH_SCALE");
-  if (env == nullptr) return "quick";
-  return env;
+bool SetScale(const std::string& name) {
+  if (!KnownScale(name.c_str())) return false;
+  g_scale_override = name;
+  return true;
 }
 
 int Scaled(int paper_value, int floor) {
@@ -37,6 +55,17 @@ BenchConfig Scale(BenchConfig config) {
   config.num_functions = Scaled(config.num_functions, 10);
   config.num_objects = Scaled(config.num_objects, 100);
   return config;
+}
+
+bool SameProblemInputs(const BenchConfig& a, const BenchConfig& b) {
+  return a.num_functions == b.num_functions &&
+         a.num_objects == b.num_objects && a.dims == b.dims &&
+         a.distribution == b.distribution &&
+         a.function_capacity == b.function_capacity &&
+         a.object_capacity == b.object_capacity &&
+         a.max_gamma == b.max_gamma &&
+         a.weight_clusters == b.weight_clusters && a.seed == b.seed &&
+         a.points_override == b.points_override;
 }
 
 AssignmentProblem BuildProblem(const BenchConfig& config) {
@@ -62,29 +91,33 @@ AssignmentProblem BuildProblem(const BenchConfig& config) {
                      config.object_capacity);
 }
 
-RunStats Run(const std::string& name, const AssignmentProblem& problem,
-             const BenchConfig& config) {
+std::string CheckRunnable(const std::string& name,
+                          const BenchConfig& config) {
   const MatcherRegistry& registry = MatcherRegistry::Global();
   const MatcherInfo* info = registry.Find(name);
   if (info == nullptr) {
-    std::fprintf(stderr, "unknown matcher '%s'; registered:\n", name.c_str());
-    for (const std::string& n : registry.Names()) {
-      std::fprintf(stderr, "  %s\n", n.c_str());
-    }
-    std::abort();
+    std::string message = "unknown matcher '" + name + "'; registered:";
+    for (const std::string& n : registry.Names()) message += "\n  " + n;
+    return message;
   }
   if (info->needs_disk_functions && !config.disk_resident_functions) {
-    std::fprintf(stderr,
-                 "matcher '%s' requires the disk-resident-F setting; set "
-                 "BenchConfig::disk_resident_functions\n",
-                 name.c_str());
-    std::abort();
+    return "matcher '" + name +
+           "' requires the disk-resident-F setting; set "
+           "BenchConfig::disk_resident_functions";
   }
   if (info->reference) {
-    std::fprintf(stderr,
-                 "matcher '%s' is a reference oracle (O(P*|F|*|O|)); it is "
-                 "excluded from benches\n",
-                 name.c_str());
+    return "matcher '" + name +
+           "' is a reference oracle (O(P*|F|*|O|)); it is excluded from "
+           "benches";
+  }
+  return std::string();
+}
+
+RunStats Run(const std::string& name, const AssignmentProblem& problem,
+             const BenchConfig& config) {
+  const std::string error = CheckRunnable(name, config);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     std::abort();
   }
 
@@ -120,26 +153,10 @@ RunStats Run(const std::string& name, const AssignmentProblem& problem,
   }
   env.tree = &*tree;
 
-  std::unique_ptr<Matcher> matcher = registry.Create(name, env);
+  std::unique_ptr<Matcher> matcher =
+      MatcherRegistry::Global().Create(name, env);
   FAIRMATCH_CHECK(matcher != nullptr);
   return matcher->Run().stats;
-}
-
-void PrintHeader(const std::string& figure, const std::string& subtitle) {
-  std::printf("# %s\n", figure.c_str());
-  std::printf("# %s  [scale=%s]\n", subtitle.c_str(), ScaleName());
-  std::printf("# %-10s %-18s %12s %12s %10s %8s %8s\n", "x", "algo",
-              "io_accesses", "cpu_ms", "mem_mb", "pairs", "loops");
-  std::fflush(stdout);
-}
-
-void PrintRow(const std::string& x, const RunStats& stats) {
-  std::printf("%-12s %-18s %12lld %12.1f %10.2f %8zu %8lld\n", x.c_str(),
-              stats.algorithm.c_str(),
-              static_cast<long long>(stats.io_accesses), stats.cpu_ms,
-              stats.peak_memory_mb(), stats.pairs,
-              static_cast<long long>(stats.loops));
-  std::fflush(stdout);
 }
 
 }  // namespace fairmatch::bench

@@ -1,9 +1,14 @@
-// Shared harness for the per-figure benchmark binaries.
+// Shared harness for the fairmatch_bench driver (bench/driver/).
 //
-// Every bench prints rows of the form
-//   <x> <algorithm> <io_accesses> <cpu_ms> <mem_mb> <pairs> <loops>
-// matching the series the paper's figures plot (I/O cost, CPU time,
-// memory usage). Scale is controlled by FAIRMATCH_SCALE:
+// Provides the experiment configuration (Table 2 defaults), problem
+// generation, and the uniform measured-run entry point every figure in
+// the FigureRegistry goes through. Measured rows carry the series the
+// paper's figures plot (I/O cost, CPU time, memory usage) plus
+// provenance (seed, scale, git sha); serialization lives in
+// bench/driver/report.h.
+//
+// Scale is selected by the driver's --scale flag (SetScale) and falls
+// back to the FAIRMATCH_SCALE environment variable:
 //   paper  — Table 2 parameter values
 //   quick  — cardinalities divided by 4 (default; same shapes)
 //   smoke  — tiny sizes for CI smoke runs
@@ -18,10 +23,17 @@
 
 namespace fairmatch::bench {
 
-/// Scale multiplier from FAIRMATCH_SCALE (paper=1, quick=0.25,
+/// Scale multiplier for the current scale (paper=1, quick=0.25,
 /// smoke=0.02).
 double ScaleFactor();
+
+/// The current scale name. Unrecognized FAIRMATCH_SCALE values resolve
+/// to the default ("quick").
 const char* ScaleName();
+
+/// Overrides FAIRMATCH_SCALE programmatically. Returns false (and
+/// changes nothing) for names other than paper / quick / smoke.
+bool SetScale(const std::string& name);
 
 /// value * ScaleFactor(), at least `floor`.
 int Scaled(int paper_value, int floor = 1);
@@ -53,20 +65,29 @@ struct BenchConfig {
 /// Applies ScaleFactor() to the cardinalities.
 BenchConfig Scale(BenchConfig config);
 
+/// True iff the two configurations generate the same problem instance
+/// (BuildProblem inputs match; run-time knobs like the buffer fraction
+/// are ignored). The driver uses this to share one generated problem
+/// across consecutive runs.
+bool SameProblemInputs(const BenchConfig& a, const BenchConfig& b);
+
 /// Generates the problem instance for a configuration.
 AssignmentProblem BuildProblem(const BenchConfig& config);
+
+/// Empty if the registered matcher `name` can run under `config`;
+/// otherwise a diagnostic: unknown name (with the registry listing),
+/// reference oracle, or missing disk-resident-F setting. Run() aborts
+/// on exactly these conditions — callers that want a clean non-zero
+/// exit validate with this first (the driver does, up front).
+std::string CheckRunnable(const std::string& name, const BenchConfig& config);
 
 /// Runs the registered matcher `name` (engine/registry.h) on a fresh
 /// R-tree built from `problem`, with storage laid out per
 /// `config.disk_resident_functions` (Section 7 vs 7.6 settings) and all
-/// instrumentation aggregated through one ExecContext. Unknown names
-/// abort with a message listing the registry contents.
+/// instrumentation aggregated through one ExecContext. Aborts on the
+/// conditions CheckRunnable() reports.
 RunStats Run(const std::string& name, const AssignmentProblem& problem,
              const BenchConfig& config);
-
-/// Output helpers.
-void PrintHeader(const std::string& figure, const std::string& subtitle);
-void PrintRow(const std::string& x, const RunStats& stats);
 
 }  // namespace fairmatch::bench
 

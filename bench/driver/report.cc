@@ -1,0 +1,160 @@
+#include "driver/report.h"
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+#ifndef FAIRMATCH_GIT_SHA
+#define FAIRMATCH_GIT_SHA "unknown"
+#endif
+
+namespace fairmatch::bench {
+
+namespace {
+
+/// Fixed-precision double formatting (streams default to %g, which
+/// drops trailing digits the CSV/JSON consumers expect to be stable).
+std::string Fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+/// Quotes a CSV field only when it needs it (comma, quote, newline).
+std::string CsvField(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+/// Minimal JSON string escaping; our strings are ASCII labels.
+std::string JsonString(const std::string& value) {
+  std::string out = "\"";
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void WriteJsonRow(std::ostream& out, const ReportRow& row,
+                  const std::string& indent) {
+  out << indent << "{\"section\": " << JsonString(row.section)
+      << ", \"x\": " << JsonString(row.x)
+      << ", \"algorithm\": " << JsonString(row.algorithm)
+      << ", \"io_accesses\": " << row.io_accesses
+      << ", \"cpu_ms\": " << Fixed(row.cpu_ms, 3)
+      << ", \"mem_mb\": " << Fixed(row.mem_mb, 4)
+      << ", \"pairs\": " << row.pairs << ", \"loops\": " << row.loops
+      << ", \"seed\": " << row.seed << "}";
+}
+
+}  // namespace
+
+std::string GitSha() { return FAIRMATCH_GIT_SHA; }
+
+void ReportSink::BeginSection(const std::string& /*title*/,
+                              const std::string& /*subtitle*/) {}
+
+void ReportSink::Close() {}
+
+TextSink::TextSink(std::ostream* out, ReportMeta meta)
+    : out_(out), meta_(std::move(meta)) {}
+
+void TextSink::BeginSection(const std::string& title,
+                            const std::string& subtitle) {
+  char header[160];
+  std::snprintf(header, sizeof(header), "# %-10s %-18s %12s %12s %10s %8s %8s",
+                "x", "algo", "io_accesses", "cpu_ms", "mem_mb", "pairs",
+                "loops");
+  *out_ << "# " << title << "\n# " << subtitle << "  [scale=" << meta_.scale
+        << "]\n"
+        << header << "\n";
+  out_->flush();
+}
+
+void TextSink::AddRow(const ReportRow& row) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %-18s %12lld %12.1f %10.2f %8llu %8lld",
+                row.x.c_str(), row.algorithm.c_str(),
+                static_cast<long long>(row.io_accesses), row.cpu_ms,
+                row.mem_mb, static_cast<unsigned long long>(row.pairs),
+                static_cast<long long>(row.loops));
+  *out_ << line << "\n";
+  out_->flush();
+}
+
+const char* CsvHeader() {
+  return "figure,section,x,algorithm,io_accesses,cpu_ms,mem_mb,pairs,loops,"
+         "seed,scale,git_sha";
+}
+
+CsvSink::CsvSink(std::ostream* out, ReportMeta meta)
+    : out_(out), meta_(std::move(meta)) {
+  *out_ << CsvHeader() << "\n";
+}
+
+void CsvSink::AddRow(const ReportRow& row) {
+  *out_ << CsvField(row.figure) << ',' << CsvField(row.section) << ','
+        << CsvField(row.x) << ',' << CsvField(row.algorithm) << ','
+        << row.io_accesses << ',' << Fixed(row.cpu_ms, 3) << ','
+        << Fixed(row.mem_mb, 4) << ',' << row.pairs << ',' << row.loops
+        << ',' << row.seed << ',' << CsvField(meta_.scale) << ','
+        << CsvField(meta_.git_sha) << "\n";
+}
+
+JsonSink::JsonSink(std::ostream* out, ReportMeta meta)
+    : out_(out), meta_(std::move(meta)) {}
+
+void JsonSink::AddRow(const ReportRow& row) {
+  // Group by figure even if rows interleave — duplicate object keys
+  // would make the document ambiguous for the CI gate.
+  for (auto& [figure, rows] : figures_) {
+    if (figure == row.figure) {
+      rows.push_back(row);
+      return;
+    }
+  }
+  figures_.emplace_back(row.figure, std::vector<ReportRow>{row});
+}
+
+void JsonSink::Close() {
+  std::ostream& out = *out_;
+  out << "{\n";
+  out << "  \"schema\": \"fairmatch-bench/v1\",\n";
+  out << "  \"scale\": " << JsonString(meta_.scale) << ",\n";
+  out << "  \"git_sha\": " << JsonString(meta_.git_sha) << ",\n";
+  out << "  \"repeat\": " << meta_.repeat << ",\n";
+  out << "  \"figures\": {";
+  for (size_t f = 0; f < figures_.size(); ++f) {
+    out << (f == 0 ? "\n" : ",\n");
+    out << "    " << JsonString(figures_[f].first) << ": [\n";
+    const std::vector<ReportRow>& rows = figures_[f].second;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      WriteJsonRow(out, rows[r], "      ");
+      out << (r + 1 < rows.size() ? ",\n" : "\n");
+    }
+    out << "    ]";
+  }
+  out << "\n  }\n}\n";
+  out.flush();
+}
+
+}  // namespace fairmatch::bench

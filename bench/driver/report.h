@@ -1,0 +1,106 @@
+// Structured serialization of benchmark results.
+//
+// The driver aggregates every measured cell into one ReportRow
+// (median-of-repeat RunStats plus provenance) and streams the rows into
+// one or more ReportSinks: the human-readable text format the old
+// per-figure binaries printed, a flat CSV (one row per measurement, for
+// plotting and diffing across commits), and a BENCH_<scale>.json
+// summary grouped by figure (what CI gates on and uploads).
+#ifndef FAIRMATCH_BENCH_DRIVER_REPORT_H_
+#define FAIRMATCH_BENCH_DRIVER_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fairmatch::bench {
+
+/// Build/run provenance stamped onto every report.
+struct ReportMeta {
+  std::string scale;
+  std::string git_sha;
+  int repeat = 1;
+};
+
+/// The short git revision the binary was built from (CMake bakes it in
+/// at configure time; "unknown" outside a git checkout).
+std::string GitSha();
+
+/// One aggregated measurement: median-of-repeat stats for one
+/// (figure, section, x, algorithm) cell.
+struct ReportRow {
+  std::string figure;
+  std::string section;  // empty for single-section figures
+  std::string x;
+  std::string algorithm;
+  int64_t io_accesses = 0;
+  double cpu_ms = 0.0;
+  double mem_mb = 0.0;
+  uint64_t pairs = 0;
+  int64_t loops = 0;
+  uint64_t seed = 0;
+};
+
+/// Streaming consumer of report rows. The driver announces each
+/// section (the text sink prints headers; structured sinks ignore
+/// them), streams rows, and calls Close() exactly once at the end.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+  virtual void BeginSection(const std::string& title,
+                            const std::string& subtitle);
+  virtual void AddRow(const ReportRow& row) = 0;
+  virtual void Close();
+};
+
+/// The former PrintHeader/PrintRow format: commented section headers,
+/// aligned columns, rows flushed as they are produced.
+class TextSink : public ReportSink {
+ public:
+  TextSink(std::ostream* out, ReportMeta meta);
+  void BeginSection(const std::string& title,
+                    const std::string& subtitle) override;
+  void AddRow(const ReportRow& row) override;
+
+ private:
+  std::ostream* out_;
+  ReportMeta meta_;
+};
+
+/// Header line of the CSV format (no trailing newline).
+const char* CsvHeader();
+
+/// Flat CSV: CsvHeader() first, then one line per row; scale and
+/// git_sha are repeated per row so concatenated files from different
+/// commits stay self-describing.
+class CsvSink : public ReportSink {
+ public:
+  CsvSink(std::ostream* out, ReportMeta meta);  // writes the header
+  void AddRow(const ReportRow& row) override;
+
+ private:
+  std::ostream* out_;
+  ReportMeta meta_;
+};
+
+/// JSON summary document, written on Close():
+///   {"schema": "fairmatch-bench/v1", "scale": ..., "git_sha": ...,
+///    "repeat": N, "figures": {"<name>": [row, ...], ...}}
+/// Rows keep the driver's emission order within each figure.
+class JsonSink : public ReportSink {
+ public:
+  JsonSink(std::ostream* out, ReportMeta meta);
+  void AddRow(const ReportRow& row) override;
+  void Close() override;
+
+ private:
+  std::ostream* out_;
+  ReportMeta meta_;
+  /// Grouped by figure, insertion-ordered.
+  std::vector<std::pair<std::string, std::vector<ReportRow>>> figures_;
+};
+
+}  // namespace fairmatch::bench
+
+#endif  // FAIRMATCH_BENCH_DRIVER_REPORT_H_

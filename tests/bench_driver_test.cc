@@ -1,0 +1,228 @@
+// The fairmatch_bench driver: figure registry completeness, up-front
+// validation (clean errors instead of abort()), and golden checks of
+// the CSV/JSON report shapes a smoke-scale figure produces.
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/driver.h"
+#include "driver/figure_registry.h"
+#include "driver/report.h"
+
+namespace fairmatch::bench {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+/// Parses a non-negative decimal number (integer or fixed-point).
+bool NonNegativeNumber(const std::string& field) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  return end == field.c_str() + field.size() && value >= 0.0;
+}
+
+class BenchDriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(SetScale("smoke")); }
+
+  std::vector<ReportRow> RunFigure(const std::string& name, int repeat,
+                                   std::vector<ReportSink*> sinks) {
+    std::string error;
+    std::vector<FigurePlan> plan = PlanFigures({name}, &error);
+    EXPECT_EQ(error, "");
+    // A collector on top of the caller's sinks.
+    class Collector : public ReportSink {
+     public:
+      void AddRow(const ReportRow& row) override { rows.push_back(row); }
+      std::vector<ReportRow> rows;
+    } collector;
+    sinks.push_back(&collector);
+    RunPlan(plan, repeat, sinks, nullptr);
+    return collector.rows;
+  }
+};
+
+TEST_F(BenchDriverTest, RegistryHasAllThirteenFigures) {
+  const std::vector<std::string> expected = {
+      "ablation_sb",
+      "fig08_optimizations",
+      "fig09_dimensionality",
+      "fig10_function_cardinality",
+      "fig11_object_cardinality",
+      "fig12_function_distribution",
+      "fig13_buffer_size",
+      "fig14_function_capacity",
+      "fig14_object_capacity",
+      "fig15_priority",
+      "fig16_nba",
+      "fig16_zillow",
+      "fig17_disk_functions",
+  };
+  EXPECT_EQ(FigureRegistry::Global().Names(), expected);
+  for (const std::string& name : expected) {
+    const FigureSpec* spec = FigureRegistry::Global().Find(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_FALSE(spec->description.empty()) << name;
+    ASSERT_NE(spec->sections, nullptr) << name;
+  }
+}
+
+TEST_F(BenchDriverTest, PlanRejectsUnknownFigureWithListing) {
+  std::string error;
+  EXPECT_TRUE(PlanFigures({"fig99_nope"}, &error).empty());
+  EXPECT_NE(error.find("unknown figure 'fig99_nope'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("fig08_optimizations"), std::string::npos) << error;
+}
+
+TEST_F(BenchDriverTest, CheckRunnableReportsCleanDiagnostics) {
+  BenchConfig config;
+  EXPECT_EQ(CheckRunnable("SB", config), "");
+  const std::string unknown = CheckRunnable("NoSuchMatcher", config);
+  EXPECT_NE(unknown.find("unknown matcher"), std::string::npos);
+  EXPECT_NE(unknown.find("SB"), std::string::npos);  // registry listing
+  EXPECT_NE(CheckRunnable("SB-alt", config).find("disk-resident"),
+            std::string::npos);
+  EXPECT_NE(CheckRunnable("Naive", config).find("reference oracle"),
+            std::string::npos);
+}
+
+TEST_F(BenchDriverTest, PlanExpandsEveryFigure) {
+  std::string error;
+  const std::vector<FigurePlan> plan = PlanFigures({"all"}, &error);
+  ASSERT_EQ(error, "");
+  EXPECT_EQ(plan.size(), FigureRegistry::Global().size());
+  for (const FigurePlan& figure : plan) {
+    EXPECT_FALSE(figure.sections.empty()) << figure.name;
+    for (const FigureSection& section : figure.sections) {
+      EXPECT_FALSE(section.cells.empty()) << figure.name;
+      for (const FigureCell& cell : section.cells) {
+        EXPECT_FALSE(cell.x.empty()) << figure.name;
+        EXPECT_FALSE(cell.runs.empty()) << figure.name;
+      }
+    }
+  }
+}
+
+TEST_F(BenchDriverTest, CsvGolden) {
+  std::ostringstream csv;
+  ReportMeta meta{ScaleName(), "testsha", 1};
+  CsvSink sink(&csv, meta);
+  RunFigure("fig08_optimizations", 1, {&sink});
+
+  const std::vector<std::string> lines = SplitLines(csv.str());
+  ASSERT_EQ(lines.size(),
+            1u + 3 * 3);  // header + 3 dims x {SB, UpdateSkyline, DeltaSky}
+  EXPECT_EQ(lines[0],
+            "figure,section,x,algorithm,io_accesses,cpu_ms,mem_mb,pairs,"
+            "loops,seed,scale,git_sha");
+  EXPECT_EQ(lines[0], CsvHeader());
+
+  const std::set<std::string> algos = {"SB", "SB-UpdateSkyline",
+                                       "SB-DeltaSky"};
+  const std::set<std::string> xs = {"3", "4", "5"};
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> f = SplitFields(lines[i]);
+    ASSERT_EQ(f.size(), 12u) << lines[i];
+    EXPECT_EQ(f[0], "fig08_optimizations");
+    EXPECT_EQ(f[1], "");  // single-section figure
+    EXPECT_EQ(xs.count(f[2]), 1u) << f[2];
+    EXPECT_EQ(algos.count(f[3]), 1u) << f[3];
+    for (int n = 4; n <= 9; ++n) {
+      EXPECT_TRUE(NonNegativeNumber(f[n])) << lines[i];
+    }
+    EXPECT_EQ(f[10], "smoke");
+    EXPECT_EQ(f[11], "testsha");
+  }
+}
+
+TEST_F(BenchDriverTest, JsonSchema) {
+  std::ostringstream json;
+  ReportMeta meta{ScaleName(), "testsha", 2};
+  JsonSink sink(&json, meta);
+  const std::vector<ReportRow> rows =
+      RunFigure("fig08_optimizations", 1, {&sink});
+  const std::string doc = json.str();
+
+  EXPECT_NE(doc.find("\"schema\": \"fairmatch-bench/v1\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"scale\": \"smoke\""), std::string::npos);
+  EXPECT_NE(doc.find("\"git_sha\": \"testsha\""), std::string::npos);
+  EXPECT_NE(doc.find("\"repeat\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"figures\": {"), std::string::npos);
+  EXPECT_NE(doc.find("\"fig08_optimizations\": ["), std::string::npos);
+  for (const char* key : {"\"section\"", "\"x\"", "\"algorithm\"",
+                          "\"io_accesses\"", "\"cpu_ms\"", "\"mem_mb\"",
+                          "\"pairs\"", "\"loops\"", "\"seed\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+  // One row object per measurement (plus the document and "figures"
+  // objects), balanced braces, no NaN/negatives.
+  EXPECT_EQ(static_cast<size_t>(std::count(doc.begin(), doc.end(), '{')),
+            2u + rows.size());
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find(": -"), std::string::npos);
+}
+
+TEST_F(BenchDriverTest, RowsCarryDeterministicFieldsAcrossRepeats) {
+  const std::vector<ReportRow> once = RunFigure("fig08_optimizations", 1, {});
+  const std::vector<ReportRow> thrice =
+      RunFigure("fig08_optimizations", 3, {});
+  ASSERT_EQ(once.size(), thrice.size());
+  for (size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].figure, thrice[i].figure);
+    EXPECT_EQ(once[i].x, thrice[i].x);
+    EXPECT_EQ(once[i].algorithm, thrice[i].algorithm);
+    // Everything but the clock is deterministic, so the median-of-3
+    // must reproduce the single run exactly.
+    EXPECT_EQ(once[i].io_accesses, thrice[i].io_accesses);
+    EXPECT_EQ(once[i].pairs, thrice[i].pairs);
+    EXPECT_EQ(once[i].loops, thrice[i].loops);
+    EXPECT_EQ(once[i].seed, thrice[i].seed);
+    EXPECT_GT(once[i].pairs, 0u);
+  }
+}
+
+TEST_F(BenchDriverTest, AblationRunsThroughCustomRunners) {
+  const std::vector<ReportRow> rows = RunFigure("ablation_sb", 1, {});
+  ASSERT_EQ(rows.size(), 10u);  // 5 omega + 3 probing + 2 multi-pair
+  std::set<std::string> sections;
+  for (const ReportRow& row : rows) {
+    sections.insert(row.section);
+    EXPECT_EQ(row.algorithm, "SB");
+    EXPECT_GT(row.pairs, 0u);
+  }
+  EXPECT_EQ(sections,
+            (std::set<std::string>{"omega", "probing", "multi-pair"}));
+}
+
+}  // namespace
+}  // namespace fairmatch::bench
