@@ -2,14 +2,17 @@
 
 namespace fairmatch::bench {
 
-// Defined in figures.cc; referenced here so the registration
-// translation unit is always pulled out of the static library.
+// Defined in figures.cc / micro_figures.cc; referenced here so the
+// registration translation units are always pulled out of the static
+// library.
 void RegisterBuiltinFigures(FigureRegistry* registry);
+void RegisterMicroFigures(FigureRegistry* registry);
 
 FigureRegistry& FigureRegistry::Global() {
   static FigureRegistry* registry = [] {
     auto* r = new FigureRegistry();
     RegisterBuiltinFigures(r);
+    RegisterMicroFigures(r);
     return r;
   }();
   return *registry;

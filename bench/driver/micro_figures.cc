@@ -1,0 +1,165 @@
+// Micro figures: registry entries that isolate the two optimized inner
+// loops (the TA reverse top-1 probe loop and BBS/UpdateSkyline) so the
+// perf trajectory of PR 3's hot-path work stays CI-visible in
+// BENCH_<scale>.json — the regression gate diffs their deterministic
+// columns (probes-as-io, restarts-as-loops, node reads) across commits
+// alongside the paper figures.
+//
+// Unlike the paper figures these cells do not run a whole matcher; the
+// custom runners drive the component directly but report through the
+// same RunStats columns:
+//
+//   micro_reverse_top1 — io = sorted-list probes, loops = Omega
+//     restarts, pairs = completed Best() assignments.
+//   micro_bbs — io = counted R-tree node reads (paged store), loops =
+//     RemoveAndUpdate rounds, pairs = skyline members drained.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver/figure_registry.h"
+#include "fairmatch/common/timer.h"
+#include "fairmatch/engine/exec_context.h"
+#include "fairmatch/rtree/node_store.h"
+#include "fairmatch/skyline/bbs.h"
+#include "fairmatch/topk/function_lists.h"
+#include "fairmatch/topk/reverse_top1.h"
+
+namespace fairmatch::bench {
+
+namespace {
+
+// Drains the whole function set through resumable Best() calls from a
+// rotating pool of query objects — the exact usage pattern SB's loop
+// produces (interleaved queries and assignments).
+RunStats RunMicroReverseTop1(const AssignmentProblem& problem,
+                             bool biased) {
+  Timer timer;
+  RunStats stats;
+  stats.algorithm = biased ? "TA-biased" : "TA-round-robin";
+  FunctionLists lists(&problem.functions);
+  ReverseTop1Options options;
+  options.biased_probing = biased;
+  ReverseTop1 rt1(&lists, options);
+  std::vector<uint8_t> assigned(problem.functions.size(), 0);
+  int64_t remaining = static_cast<int64_t>(problem.functions.size());
+  const size_t nq =
+      std::min<size_t>(64, std::max<size_t>(1, problem.objects.size()));
+  std::vector<ReverseTop1State> states(nq);
+  size_t i = 0;
+  while (remaining > 0) {
+    const size_t q = i++ % nq;
+    auto best =
+        rt1.Best(&states[q], problem.objects[q].point, assigned, remaining);
+    if (!best.has_value()) break;
+    assigned[best->first] = 1;
+    remaining--;
+    stats.pairs++;
+  }
+  stats.cpu_ms = timer.ElapsedMs();
+  stats.io_accesses = rt1.probes();
+  stats.loops = rt1.restarts();
+  size_t state_bytes = lists.memory_bytes();
+  for (const ReverseTop1State& s : states) state_bytes += s.memory_bytes();
+  stats.peak_memory_bytes = state_bytes;
+  return stats;
+}
+
+// Full BBS + UpdateSkyline drain over a paged (counted-I/O) object
+// tree: compute the initial skyline, then repeatedly remove every
+// member until the tree is exhausted — the skyline-maintenance work an
+// entire assignment performs, without the TA/pairing layers.
+RunStats RunMicroBbs(const AssignmentProblem& problem,
+                     const BenchConfig& config) {
+  ExecContext ctx;
+  PagedNodeStore store(problem.dims, 4096, &ctx.counters());
+  RTree tree(&store);
+  BuildObjectTree(problem, &tree);
+  store.ResetCounters();  // exclude the build phase
+  store.SetBufferFraction(config.buffer_fraction);
+  ctx.BeginRun();
+  RunStats stats;
+  stats.algorithm = "UpdateSkyline";
+  SkylineManager mgr(&tree);
+  mgr.ComputeInitial();
+  std::vector<ObjectId> victims;
+  while (mgr.skyline().size() > 0) {
+    stats.loops++;
+    victims.clear();
+    mgr.skyline().ForEach(
+        [&](int, const SkylineObject& m) { victims.push_back(m.id); });
+    stats.pairs += victims.size();
+    mgr.RemoveAndUpdate(victims);
+    ctx.memory().Set(mgr.memory_bytes());
+  }
+  ctx.Finish(&stats);
+  return stats;
+}
+
+std::vector<FigureSection> MicroReverseTop1() {
+  FigureSection s;
+  s.title = "Micro: TA reverse top-1 drain";
+  s.subtitle =
+      "in-memory lists, 64 resumable query states, x = |F| "
+      "(io = probes, loops = restarts)";
+  for (int nf : {1000, 5000, 20000}) {
+    BenchConfig config;
+    config.num_functions = nf;
+    config.num_objects = 1000;
+    config = Scale(config);
+    std::vector<MeasuredRun> runs;
+    for (bool biased : {true, false}) {
+      MeasuredRun run;
+      run.algorithm = biased ? "TA-biased" : "TA-round-robin";
+      run.runner = [biased](const AssignmentProblem& problem,
+                            const BenchConfig&) {
+        return RunMicroReverseTop1(problem, biased);
+      };
+      runs.push_back(std::move(run));
+    }
+    s.cells.push_back({std::to_string(nf), config, nullptr, std::move(runs)});
+  }
+  return {s};
+}
+
+std::vector<FigureSection> MicroBbs() {
+  FigureSection s;
+  s.title = "Micro: BBS + UpdateSkyline full drain";
+  s.subtitle =
+      "paged object tree, remove-all loop until empty, x = |O| "
+      "(io = node reads, pairs = members drained)";
+  for (int no : {20000, 100000}) {
+    BenchConfig config;
+    config.num_objects = no;
+    config.num_functions = 10;  // unused by the runner; keep generation cheap
+    config = Scale(config);
+    MeasuredRun run;
+    run.algorithm = "UpdateSkyline";
+    run.runner = [](const AssignmentProblem& problem,
+                    const BenchConfig& c) {
+      return RunMicroBbs(problem, c);
+    };
+    s.cells.push_back({std::to_string(no), config, nullptr, {std::move(run)}});
+  }
+  return {s};
+}
+
+}  // namespace
+
+void RegisterMicroFigures(FigureRegistry* registry) {
+  FigureSpec rt1;
+  rt1.name = "micro_reverse_top1";
+  rt1.description =
+      "Microbench: TA reverse top-1 inner loop (flat candidate heap)";
+  rt1.sections = MicroReverseTop1;
+  registry->Register(std::move(rt1));
+
+  FigureSpec bbs;
+  bbs.name = "micro_bbs";
+  bbs.description =
+      "Microbench: BBS/UpdateSkyline drain (arena-backed plists)";
+  bbs.sections = MicroBbs;
+  registry->Register(std::move(bbs));
+}
+
+}  // namespace fairmatch::bench

@@ -3,7 +3,9 @@
 // search, the TA reverse top-1 and the buffer pool.
 #include <benchmark/benchmark.h>
 
+#include "fairmatch/common/minmax_heap.h"
 #include "fairmatch/common/rng.h"
+#include "fairmatch/skyline/sky_arena.h"
 #include "fairmatch/data/synthetic.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/rtree/rtree.h"
@@ -135,6 +137,62 @@ void BM_ReverseTop1(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReverseTop1)->Arg(5000)->Arg(20000);
+
+// The reverse-top-1 queue workload: interleaved push / evict-worst /
+// pop-best on a capacity-bounded double-ended queue. The seed paid
+// O(cap) vector shifts per operation; the min-max heap pays O(log cap).
+void BM_MinMaxHeapBoundedChurn(benchmark::State& state) {
+  const int cap = static_cast<int>(state.range(0));
+  Rng rng(77);
+  std::vector<double> keys(1 << 16);
+  for (double& k : keys) k = rng.Uniform();
+  struct Item {
+    double score;
+    int id;
+    bool operator<(const Item& other) const {
+      if (score != other.score) return score > other.score;
+      return id < other.id;
+    }
+  };
+  size_t i = 0;
+  for (auto _ : state) {
+    MinMaxHeap<Item> heap;
+    for (int op = 0; op < 4 * cap; ++op) {
+      heap.push(Item{keys[i++ & 0xffff], op});
+      if (static_cast<int>(heap.size()) > cap) heap.pop_max();
+      if ((op & 7) == 7) heap.pop_min();
+    }
+    benchmark::DoNotOptimize(heap.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * cap);
+}
+BENCHMARK(BM_MinMaxHeapBoundedChurn)->Arg(64)->Arg(512)->Arg(4096);
+
+// Arena alloc/free churn in the BBS park/expand pattern: allocate a
+// wave of entries, free every other one, allocate again (freelist
+// reuse), then drain.
+void BM_SkyEntryArenaChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(78);
+  auto points = GeneratePoints(Distribution::kIndependent, 256, 4, &rng);
+  for (auto _ : state) {
+    SkyEntryArena arena;
+    std::vector<uint32_t> handles;
+    handles.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      handles.push_back(
+          arena.Alloc(SkyEntry::ForObject(points[i & 255], i)));
+    }
+    for (int i = 0; i < n; i += 2) arena.Free(handles[i]);
+    for (int i = 0; i < n; i += 2) {
+      handles[i] = arena.Alloc(SkyEntry::ForObject(points[i & 255], i));
+    }
+    for (int i = 0; i < n; ++i) arena.Free(handles[i]);
+    benchmark::DoNotOptimize(arena.high_water());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SkyEntryArenaChurn)->Arg(4096)->Arg(65536);
 
 void BM_BufferPoolFetchHit(benchmark::State& state) {
   DiskManager disk;

@@ -43,7 +43,7 @@ bool SBAssignment::RefreshCandidate(ObjectState* state, const Point& point) {
   if (state->cand_fid != kInvalidFunction && !assigned_[state->cand_fid]) {
     return true;  // resumable candidate still valid (Section 5.1)
   }
-  auto result = rt1_->Best(&state->ta, point, assigned_);
+  auto result = rt1_->Best(&state->ta, point, assigned_, remaining_fns_);
   if (!result.has_value()) return false;
   state->cand_fid = result->first;
   state->cand_score = result->second;
@@ -66,7 +66,7 @@ AssignResult SBAssignment::Run() {
   const FunctionSet& fns = problem_->functions;
   assigned_.assign(fns.size(), 0);
   fcap_.resize(fns.size());
-  int64_t remaining_fns = static_cast<int64_t>(fns.size());
+  remaining_fns_ = static_cast<int64_t>(fns.size());
   for (const PrefFunction& f : fns) fcap_[f.id] = f.capacity;
   std::vector<int> ocap(problem_->objects.size());
   for (const ObjectItem& o : problem_->objects) ocap[o.id] = o.capacity;
@@ -92,7 +92,7 @@ AssignResult SBAssignment::Run() {
   bool first = true;
   bool functions_exhausted = false;
 
-  while (remaining_fns > 0 && !functions_exhausted) {
+  while (remaining_fns_ > 0 && !functions_exhausted) {
     result.stats.loops++;
     // --- skyline maintenance -------------------------------------------
     if (first) {
@@ -154,7 +154,7 @@ AssignResult SBAssignment::Run() {
       result.matching.push_back(pair);
       if (--fcap_[pair.fid] == 0) {
         assigned_[pair.fid] = 1;
-        remaining_fns--;
+        remaining_fns_--;
         engine.OnFunctionAssigned(pair.fid);
       }
       if (--ocap[pair.oid] == 0) {

@@ -87,6 +87,9 @@ class SBAssignment {
   std::unique_ptr<ReverseTop1> rt1_;
   std::vector<uint8_t> assigned_;  // function capacity exhausted
   std::vector<int> fcap_;
+  // Count of functions with assigned_[fid] == 0, threaded into the TA
+  // search so its exhaustion check is O(1) instead of an |F| scan.
+  int64_t remaining_fns_ = 0;
   std::unordered_map<ObjectId, ObjectState> states_;
 };
 

@@ -21,12 +21,15 @@ namespace {
 // exact ties scanning must continue so the smallest-id winner is found.
 constexpr double kBoundSlack = 1e-9;
 
-/// Knapsack-tight threshold (Section 5.1) given per-list frontier values.
-double TightThreshold(const Point& o, const std::vector<int>& dim_order,
+/// Knapsack-tight threshold (Section 5.1) given per-list frontier
+/// values. `o` and `dim_order` are one member's rows of the flat SoA
+/// blocks (length `dims` each).
+double TightThreshold(const float* o, const int* dim_order, int dims,
                       const std::vector<double>& frontier, double budget) {
   double threshold = 0.0;
-  for (int d : dim_order) {
+  for (int j = 0; j < dims; ++j) {
     if (budget <= 0.0) break;
+    const int d = dim_order[j];
     double beta = std::min(budget, frontier[d]);
     threshold += beta * o[d];
     budget -= beta;
@@ -62,6 +65,31 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
   std::unordered_set<ObjectId> known_members;
   bool first = true;
 
+  // Member state in flat SoA blocks, hoisted so loop iterations reuse
+  // capacity: coordinates and per-member dim orders are `dims`-strided
+  // rows, best scores/functions are parallel arrays. `active` compacts
+  // the not-yet-done members so the per-page loops cost O(active)
+  // instead of O(members); `by_dim[d]` orders members by descending
+  // o[d] so the fetch-worthiness probe (whose dominant term is
+  // coef * o[d]) hits its early-exit on the likeliest member first.
+  std::vector<ObjectId> mb_oid;
+  std::vector<float> mb_pts;     // members x dims
+  std::vector<int> mb_order;     // members x dims, o desc per member
+  std::vector<FunctionId> mb_best_f;
+  std::vector<double> mb_best_s;
+  std::vector<uint8_t> mb_done;
+  std::vector<int> active;
+  std::vector<std::vector<int>> by_dim(dims);
+  // Generation-stamped seen set: cleared by bumping `gen`, not O(|F|).
+  std::vector<uint32_t> seen_gen(num_fns, 0);
+  uint32_t gen = 0;
+  std::vector<int64_t> next_page(dims, 0);
+  std::vector<double> frontier(dims, 0.0);
+  std::vector<ListRecord> page;
+  std::array<double, kMaxDims> eff{};
+  const double max_gamma = store->max_gamma();
+  const int64_t pages = store->pages_per_list();
+
   while (remaining_fns > 0) {
     result.stats.loops++;
     if (first) {
@@ -75,38 +103,44 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
     if (sky.size() == 0) break;
 
     // Gather the members; best functions are recomputed from scratch.
-    struct Member {
-      ObjectId oid;
-      const Point* point;
-      std::vector<int> dim_order;
-      FunctionId best_f = kInvalidFunction;
-      double best_s = 0.0;
-      std::array<double, kMaxDims> best_eff{};
-      bool done = false;
-    };
-    std::vector<Member> members;
-    members.reserve(sky.size());
+    const int m_count = static_cast<int>(sky.size());
+    mb_oid.clear();
+    mb_pts.clear();
+    mb_order.resize(static_cast<size_t>(m_count) * dims);
     sky.ForEach([&](int, const SkylineObject& m) {
-      Member mem;
-      mem.oid = m.id;
-      mem.point = &m.point;
-      mem.dim_order.resize(dims);
-      std::iota(mem.dim_order.begin(), mem.dim_order.end(), 0);
-      std::sort(mem.dim_order.begin(), mem.dim_order.end(), [&](int a, int b) {
-        if (m.point[a] != m.point[b]) return m.point[a] > m.point[b];
+      const int idx = static_cast<int>(mb_oid.size());
+      mb_oid.push_back(m.id);
+      for (int d = 0; d < dims; ++d) mb_pts.push_back(m.point[d]);
+      int* order = &mb_order[static_cast<size_t>(idx) * dims];
+      std::iota(order, order + dims, 0);
+      const float* pt = &mb_pts[static_cast<size_t>(idx) * dims];
+      std::sort(order, order + dims, [pt](int a, int b) {
+        if (pt[a] != pt[b]) return pt[a] > pt[b];
         return a < b;
       });
-      members.push_back(std::move(mem));
     });
+    mb_best_f.assign(m_count, kInvalidFunction);
+    mb_best_s.assign(m_count, 0.0);
+    mb_done.assign(m_count, 0);
+    active.resize(m_count);
+    std::iota(active.begin(), active.end(), 0);
+    for (int d = 0; d < dims; ++d) {
+      std::vector<int>& order = by_dim[d];
+      order.resize(m_count);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        const float oa = mb_pts[static_cast<size_t>(a) * dims + d];
+        const float ob = mb_pts[static_cast<size_t>(b) * dims + d];
+        if (oa != ob) return oa > ob;
+        return a < b;
+      });
+    }
 
     // Batch TA over the disk lists: round-robin, one page at a time.
-    std::vector<int64_t> next_page(dims, 0);
-    std::vector<double> frontier(dims, store->max_gamma());
-    std::vector<uint8_t> seen(num_fns, 0);
-    int undone = static_cast<int>(members.size());
-    std::vector<ListRecord> page;
-    std::array<double, kMaxDims> eff{};
-    const int64_t pages = store->pages_per_list();
+    std::fill(next_page.begin(), next_page.end(), 0);
+    std::fill(frontier.begin(), frontier.end(), max_gamma);
+    ++gen;
+    int undone = m_count;
 
     while (undone > 0) {
       bool progressed = false;
@@ -114,10 +148,11 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
         if (next_page[d] >= pages) continue;
         int count = store->ReadListPage(d, next_page[d]++, &page);
         progressed = true;
+        const std::vector<int>& order_d = by_dim[d];
         for (int r = 0; r < count; ++r) {
           FunctionId fid = page[r].fid;
-          if (seen[fid]) continue;
-          seen[fid] = 1;
+          if (seen_gen[fid] == gen) continue;
+          seen_gen[fid] = gen;
           if (assigned[fid]) continue;
           // Before paying D-1 random accesses, bound f's score: f was
           // unseen until now, so in every other list its entry is at or
@@ -127,21 +162,24 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
           // fetch entirely; this is what keeps the batch search's I/O
           // low once the early list prefixes are consumed.
           bool worth_fetching = false;
-          for (const Member& mem : members) {
-            if (mem.done) continue;
-            if (mem.best_f == kInvalidFunction) {
+          for (int m : order_d) {
+            if (mb_done[m]) continue;
+            if (mb_best_f[m] == kInvalidFunction) {
               worth_fetching = true;
               break;
             }
-            double budget = store->max_gamma() - page[r].coef;
-            double bound = page[r].coef * (*mem.point)[d];
-            for (int k : mem.dim_order) {
+            const float* pt = &mb_pts[static_cast<size_t>(m) * dims];
+            const int* order = &mb_order[static_cast<size_t>(m) * dims];
+            double budget = max_gamma - page[r].coef;
+            double bound = page[r].coef * pt[d];
+            for (int j = 0; j < dims; ++j) {
+              const int k = order[j];
               if (k == d || budget <= 0.0) continue;
               double beta = std::min(budget, frontier[k]);
-              bound += beta * (*mem.point)[k];
+              bound += beta * pt[k];
               budget -= beta;
             }
-            if (bound >= mem.best_s - kBoundSlack) {
+            if (bound >= mb_best_s[m] - kBoundSlack) {
               worth_fetching = true;
               break;
             }
@@ -149,51 +187,63 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
           if (!worth_fetching) continue;
           // Random accesses for the remaining coefficients.
           store->FetchEff(fid, d, page[r].coef, eff.data());
-          for (Member& mem : members) {
-            if (mem.done) continue;
+          for (int m : active) {
+            const float* pt = &mb_pts[static_cast<size_t>(m) * dims];
             double s = 0.0;
-            for (int k = 0; k < dims; ++k) s += eff[k] * (*mem.point)[k];
-            if (mem.best_f == kInvalidFunction || s > mem.best_s ||
-                (s == mem.best_s && fid < mem.best_f)) {
-              mem.best_f = fid;
-              mem.best_s = s;
-              mem.best_eff = eff;
+            for (int k = 0; k < dims; ++k) s += eff[k] * pt[k];
+            if (mb_best_f[m] == kInvalidFunction || s > mb_best_s[m] ||
+                (s == mb_best_s[m] && fid < mb_best_f[m])) {
+              mb_best_f[m] = fid;
+              mb_best_s[m] = s;
             }
           }
         }
         if (count > 0) frontier[d] = page[count - 1].coef;
         // Threshold test after each page (strict: ties keep scanning so
-        // the smallest-id tie winner is found).
-        for (Member& mem : members) {
-          if (mem.done || mem.best_f == kInvalidFunction) continue;
-          double t = TightThreshold(*mem.point, mem.dim_order, frontier,
-                                    store->max_gamma());
-          if (mem.best_s > t + kBoundSlack) {
-            mem.done = true;
-            undone--;
+        // the smallest-id tie winner is found). A member whose best
+        // provably beats every unseen function's knapsack bound leaves
+        // the active set for the rest of this loop iteration.
+        for (size_t i = 0; i < active.size();) {
+          const int m = active[i];
+          if (mb_best_f[m] != kInvalidFunction) {
+            double t = TightThreshold(
+                &mb_pts[static_cast<size_t>(m) * dims],
+                &mb_order[static_cast<size_t>(m) * dims], dims, frontier,
+                max_gamma);
+            if (mb_best_s[m] > t + kBoundSlack) {
+              mb_done[m] = 1;
+              undone--;
+              active[i] = active.back();
+              active.pop_back();
+              continue;
+            }
           }
+          ++i;
         }
       }
       if (!progressed) break;  // all lists exhausted
     }
-    memory.Set(sky_mgr.memory_bytes() + seen.size() +
-               members.size() * (sizeof(Member) + dims * 4) +
+    memory.Set(sky_mgr.memory_bytes() + seen_gen.size() * sizeof(uint32_t) +
+               static_cast<size_t>(m_count) *
+                   (sizeof(ObjectId) + sizeof(FunctionId) + sizeof(double) +
+                    1 + (dims + 1) * (sizeof(float) + sizeof(int))) +
                engine.memory_bytes());
 
     // Mutual-best pairing (Property 2), same engine as SB.
     std::vector<MemberCandidate> candidates;
     std::vector<ObjectId> added;
-    candidates.reserve(members.size());
+    candidates.reserve(m_count);
     bool exhausted = false;
-    for (const Member& mem : members) {
-      if (mem.best_f == kInvalidFunction) {
+    for (int m = 0; m < m_count; ++m) {
+      if (mb_best_f[m] == kInvalidFunction) {
         exhausted = true;  // no unassigned function reachable
         continue;
       }
-      candidates.push_back(
-          MemberCandidate{mem.oid, mem.point, mem.best_f, mem.best_s});
-      if (known_members.insert(mem.oid).second) {
-        added.push_back(mem.oid);
+      const SkylineObject& member = sky.at(sky.SlotOf(mb_oid[m]));
+      candidates.push_back(MemberCandidate{mb_oid[m], &member.point,
+                                           mb_best_f[m], mb_best_s[m]});
+      if (known_members.insert(mb_oid[m]).second) {
+        added.push_back(mb_oid[m]);
       }
     }
     if (candidates.empty()) {

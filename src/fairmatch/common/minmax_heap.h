@@ -1,0 +1,202 @@
+// Flat (array-backed) min-max heap [Atkinson et al., CACM 1986].
+//
+// A double-ended priority queue over one contiguous buffer: peek-min,
+// pop-min, pop-max and push are all O(log n) with no per-node
+// allocation. fairmatch uses it for capacity-bounded candidate queues
+// (reverse_top1.h keeps the top-Omega candidates: the best is consumed
+// from one end while the overflow is evicted from the other), where the
+// seed's sorted std::vector paid O(n) per erase/insert.
+//
+// `Less` must be a strict total order for the pop sequence to be
+// deterministic and identical to the sorted-vector behavior it
+// replaces; fairmatch comparators always tie-break on ids.
+#ifndef FAIRMATCH_COMMON_MINMAX_HEAP_H_
+#define FAIRMATCH_COMMON_MINMAX_HEAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+template <typename T, typename Less = std::less<T>>
+class MinMaxHeap {
+ public:
+  MinMaxHeap() = default;
+  explicit MinMaxHeap(Less less) : less_(std::move(less)) {}
+
+  bool empty() const { return data_.empty(); }
+  size_t size() const { return data_.size(); }
+  size_t capacity() const { return data_.capacity(); }
+  void clear() { data_.clear(); }
+  void reserve(size_t n) { data_.reserve(n); }
+
+  /// Smallest element (the "best" under fairmatch's best-first orders).
+  const T& min() const {
+    FAIRMATCH_DCHECK(!data_.empty());
+    return data_[0];
+  }
+
+  /// Largest element.
+  const T& max() const {
+    FAIRMATCH_DCHECK(!data_.empty());
+    return data_[MaxIndex()];
+  }
+
+  void push(const T& value) {
+    data_.push_back(value);
+    BubbleUp(data_.size() - 1);
+  }
+
+  /// Removes the smallest element.
+  void pop_min() {
+    FAIRMATCH_DCHECK(!data_.empty());
+    RemoveAt(0);
+  }
+
+  /// Removes the largest element.
+  void pop_max() {
+    FAIRMATCH_DCHECK(!data_.empty());
+    RemoveAt(MaxIndex());
+  }
+
+ private:
+  // Level 0 (the root) is a min level; levels alternate. On min levels
+  // every node is <= its subtree, on max levels >= .
+  static bool IsMinLevel(size_t i) {
+    int level = 0;
+    for (size_t v = i + 1; v > 1; v >>= 1) level++;
+    return (level & 1) == 0;
+  }
+
+  static size_t Parent(size_t i) { return (i - 1) / 2; }
+  static bool HasGrandparent(size_t i) { return i >= 3; }
+  static size_t Grandparent(size_t i) { return Parent(Parent(i)); }
+
+  size_t MaxIndex() const {
+    if (data_.size() == 1) return 0;
+    if (data_.size() == 2) return 1;
+    return less_(data_[1], data_[2]) ? 2 : 1;
+  }
+
+  void RemoveAt(size_t i) {
+    const size_t last = data_.size() - 1;
+    if (i != last) {
+      data_[i] = std::move(data_[last]);
+      data_.pop_back();
+      TrickleDown(i);
+    } else {
+      data_.pop_back();
+    }
+  }
+
+  void BubbleUp(size_t i) {
+    if (i == 0) return;
+    const size_t parent = Parent(i);
+    if (IsMinLevel(i)) {
+      if (less_(data_[parent], data_[i])) {
+        std::swap(data_[i], data_[parent]);
+        BubbleUpMax(parent);
+      } else {
+        BubbleUpMin(i);
+      }
+    } else {
+      if (less_(data_[i], data_[parent])) {
+        std::swap(data_[i], data_[parent]);
+        BubbleUpMin(parent);
+      } else {
+        BubbleUpMax(i);
+      }
+    }
+  }
+
+  void BubbleUpMin(size_t i) {
+    while (HasGrandparent(i)) {
+      const size_t g = Grandparent(i);
+      if (!less_(data_[i], data_[g])) break;
+      std::swap(data_[i], data_[g]);
+      i = g;
+    }
+  }
+
+  void BubbleUpMax(size_t i) {
+    while (HasGrandparent(i)) {
+      const size_t g = Grandparent(i);
+      if (!less_(data_[g], data_[i])) break;
+      std::swap(data_[i], data_[g]);
+      i = g;
+    }
+  }
+
+  void TrickleDown(size_t i) {
+    if (IsMinLevel(i)) {
+      TrickleDownMin(i);
+    } else {
+      TrickleDownMax(i);
+    }
+  }
+
+  // Index of the extreme (per `min`) element among the children and
+  // grandchildren of i, or i itself when childless. Children of i are
+  // 2i+1 and 2i+2; grandchildren are 4i+3 .. 4i+6.
+  size_t ExtremeDescendant(size_t i, bool min) const {
+    const size_t n = data_.size();
+    const size_t c1 = 2 * i + 1;
+    if (c1 >= n) return i;
+    size_t best = c1;
+    if (c1 + 1 < n && Extreme(c1 + 1, best, min)) best = c1 + 1;
+    const size_t g1 = 4 * i + 3;
+    for (size_t g = g1; g < n && g < g1 + 4; ++g) {
+      if (Extreme(g, best, min)) best = g;
+    }
+    return best;
+  }
+
+  bool Extreme(size_t a, size_t b, bool min) const {
+    return min ? less_(data_[a], data_[b]) : less_(data_[b], data_[a]);
+  }
+
+  void TrickleDownMin(size_t i) {
+    while (true) {
+      const size_t m = ExtremeDescendant(i, /*min=*/true);
+      if (m == i) return;
+      if (m <= 2 * i + 2) {  // direct child
+        if (less_(data_[m], data_[i])) std::swap(data_[m], data_[i]);
+        return;
+      }
+      // Grandchild.
+      if (!less_(data_[m], data_[i])) return;
+      std::swap(data_[m], data_[i]);
+      const size_t p = Parent(m);
+      if (less_(data_[p], data_[m])) std::swap(data_[m], data_[p]);
+      i = m;
+    }
+  }
+
+  void TrickleDownMax(size_t i) {
+    while (true) {
+      const size_t m = ExtremeDescendant(i, /*min=*/false);
+      if (m == i) return;
+      if (m <= 2 * i + 2) {  // direct child
+        if (less_(data_[i], data_[m])) std::swap(data_[m], data_[i]);
+        return;
+      }
+      // Grandchild.
+      if (!less_(data_[i], data_[m])) return;
+      std::swap(data_[m], data_[i]);
+      const size_t p = Parent(m);
+      if (less_(data_[m], data_[p])) std::swap(data_[m], data_[p]);
+      i = m;
+    }
+  }
+
+  std::vector<T> data_;
+  Less less_;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_MINMAX_HEAP_H_

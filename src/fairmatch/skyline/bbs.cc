@@ -6,46 +6,54 @@
 
 namespace fairmatch {
 
-void SkylineManager::ParkOrPush(Heap* heap, const SkyEntry& e) {
+void SkylineManager::ParkOrPush(Heap* heap, uint32_t handle) {
+  const SkyEntry& e = arena_.entry(handle);
   int dominator = sky_.FindDominator(e.mbr.best_corner(), e.key);
   if (dominator >= 0) {
-    sky_.at(dominator).plist.push_back(e);
+    Park(dominator, handle);
   } else {
-    heap->push(e);
+    heap->push(HeapItem{e.key, e.id, e.is_node, handle});
   }
 }
 
 void SkylineManager::ProcessHeap(Heap* heap) {
   while (!heap->empty()) {
     peak_heap_bytes_ =
-        std::max(peak_heap_bytes_, heap->size() * sizeof(SkyEntry));
-    SkyEntry e = heap->top();
+        std::max(peak_heap_bytes_, heap->size() * sizeof(HeapItem));
+    const HeapItem item = heap->top();
     heap->pop();
+    const SkyEntry& e = arena_.entry(item.handle);
     // The entry may have become dominated by a member added after it
     // was pushed.
     int dominator = sky_.FindDominator(e.mbr.best_corner(), e.key);
     if (dominator >= 0) {
-      sky_.at(dominator).plist.push_back(e);
+      Park(dominator, item.handle);
       continue;
     }
-    if (e.is_node) {
-      NodeHandle h = tree_->ReadNode(e.id);
+    if (item.is_node) {
+      // The MBR is consumed by the expansion; release the node's arena
+      // slot before the children claim new ones.
+      arena_.Free(item.handle);
+      NodeHandle h = tree_->ReadNode(item.id);
       nodes_read_++;
-      if (log_reads_) read_log_.push_back(e.id);
+      if (log_reads_) read_log_.push_back(item.id);
       NodeView node = h.view();
       if (node.is_leaf()) {
         for (int i = 0; i < node.count(); ++i) {
-          ParkOrPush(heap, SkyEntry::ForObject(node.leaf_point(i),
-                                               node.child(i)));
+          ParkOrPush(heap, arena_.Alloc(SkyEntry::ForObject(
+                               node.leaf_point(i), node.child(i))));
         }
       } else {
         for (int i = 0; i < node.count(); ++i) {
-          ParkOrPush(heap,
-                     SkyEntry::ForNode(node.entry_mbr(i), node.child(i)));
+          ParkOrPush(heap, arena_.Alloc(SkyEntry::ForNode(
+                               node.entry_mbr(i), node.child(i))));
         }
       }
     } else {
-      sky_.Add(e.point(), e.id);
+      const Point point = e.point();  // copy: Add may grow structures
+      arena_.Free(item.handle);
+      int slot = sky_.Add(point, item.id);
+      EnsurePlistSlot(slot);
     }
   }
 }
@@ -61,12 +69,13 @@ void SkylineManager::ComputeInitial() {
   NodeView node = h.view();
   if (node.is_leaf()) {
     for (int i = 0; i < node.count(); ++i) {
-      ParkOrPush(&heap, SkyEntry::ForObject(node.leaf_point(i),
-                                            node.child(i)));
+      ParkOrPush(&heap, arena_.Alloc(SkyEntry::ForObject(
+                            node.leaf_point(i), node.child(i))));
     }
   } else {
     for (int i = 0; i < node.count(); ++i) {
-      ParkOrPush(&heap, SkyEntry::ForNode(node.entry_mbr(i), node.child(i)));
+      ParkOrPush(&heap, arena_.Alloc(SkyEntry::ForNode(node.entry_mbr(i),
+                                                       node.child(i))));
     }
   }
   h.Release();
@@ -74,7 +83,8 @@ void SkylineManager::ComputeInitial() {
 }
 
 size_t SkylineManager::memory_bytes() const {
-  return sky_.memory_bytes() + peak_heap_bytes_;
+  return sky_.memory_bytes() + arena_.high_water_bytes() +
+         plist_head_.capacity() * sizeof(uint32_t) + peak_heap_bytes_;
 }
 
 }  // namespace fairmatch

@@ -7,6 +7,11 @@
 // has not been expanded lives in exactly one live member's plist or in
 // the processing heap. Consequently no R-tree node is ever read twice
 // (Theorem 1); tests assert this via the read log.
+//
+// Entries live in a SkyEntryArena (sky_arena.h): plists are intrusive
+// handle chains and the heap holds 24-byte items with the ordering key
+// inline, so RemoveAndUpdate churn relinks handles instead of copying
+// ~100-byte SkyEntry values through the general allocator.
 #ifndef FAIRMATCH_SKYLINE_BBS_H_
 #define FAIRMATCH_SKYLINE_BBS_H_
 
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "fairmatch/rtree/rtree.h"
+#include "fairmatch/skyline/sky_arena.h"
 #include "fairmatch/skyline/skyline_set.h"
 
 namespace fairmatch {
@@ -37,8 +43,15 @@ class SkylineManager {
   SkylineSet& skyline() { return sky_; }
   const SkylineSet& skyline() const { return sky_; }
 
-  /// Approximate bytes held by the skyline, plists and heap.
+  /// Approximate bytes held by the skyline, arena-parked entries and
+  /// heap (the paper's memory-usage metric).
   size_t memory_bytes() const;
+
+  /// High-water mark of the entry arena, in bytes (perf diagnostics;
+  /// reported through MemoryTracker via memory_bytes()).
+  size_t arena_high_water_bytes() const {
+    return arena_.high_water_bytes();
+  }
 
   int64_t nodes_read() const { return nodes_read_; }
 
@@ -47,18 +60,56 @@ class SkylineManager {
   const std::vector<PageId>& read_log() const { return read_log_; }
 
  private:
+  // Heap element: the SkyEntryWorse ordering fields cached inline (the
+  // sift path never touches the arena), payload behind `handle`.
+  struct HeapItem {
+    double key;
+    int32_t id;
+    bool is_node;
+    uint32_t handle;
+  };
+  // Max-heap order mirroring SkyEntryWorse: larger key first; at equal
+  // keys nodes expand before objects emit; final tie on ascending id.
+  // The order is total, so the pop sequence is deterministic.
+  struct HeapItemWorse {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.key != b.key) return a.key < b.key;
+      if (a.is_node != b.is_node) return !a.is_node;
+      return a.id > b.id;
+    }
+  };
   using Heap =
-      std::priority_queue<SkyEntry, std::vector<SkyEntry>, SkyEntryWorse>;
+      std::priority_queue<HeapItem, std::vector<HeapItem>, HeapItemWorse>;
 
   /// Core BBS loop: drains the heap, parking dominated entries,
   /// expanding nodes and promoting non-dominated objects.
   void ProcessHeap(Heap* heap);
 
-  /// Routes `e` to a dominator's plist or pushes it onto the heap.
-  void ParkOrPush(Heap* heap, const SkyEntry& e);
+  /// Routes the arena entry behind `handle` to a dominator's plist or
+  /// pushes it onto the heap.
+  void ParkOrPush(Heap* heap, uint32_t handle);
+
+  /// Prepends `handle` to slot's intrusive plist chain.
+  void Park(int slot, uint32_t handle) {
+    arena_.set_next(handle, plist_head_[slot]);
+    plist_head_[slot] = handle;
+  }
+
+  /// Grows plist_head_ to cover `slot` (new skyline member).
+  void EnsurePlistSlot(int slot) {
+    if (static_cast<size_t>(slot) >= plist_head_.size()) {
+      plist_head_.resize(slot + 1, SkyEntryArena::kNil);
+    }
+    FAIRMATCH_DCHECK(plist_head_[slot] == SkyEntryArena::kNil);
+  }
 
   const RTree* tree_;
   SkylineSet sky_;
+  SkyEntryArena arena_;
+  // Per sky_ slot: head of the member's parked-entry chain (kNil when
+  // empty). Indexed in lockstep with SkylineSet slots.
+  std::vector<uint32_t> plist_head_;
+  std::vector<uint32_t> pending_;  // RemoveAndUpdate scratch
   int64_t nodes_read_ = 0;
   bool log_reads_ = false;
   std::vector<PageId> read_log_;

@@ -1,6 +1,4 @@
 // Incremental skyline maintenance (paper Algorithm 2).
-#include <utility>
-
 #include "fairmatch/common/check.h"
 #include "fairmatch/skyline/bbs.h"
 
@@ -9,18 +7,20 @@ namespace fairmatch {
 void SkylineManager::RemoveAndUpdate(const std::vector<ObjectId>& removed) {
   if (removed.empty()) return;
 
-  // Phase 1: detach every removed member, collecting their plists.
-  // All removals happen before any re-parking so that entries dominated
-  // only by removed members are re-examined rather than re-parked under
-  // a member that is about to disappear.
-  std::vector<SkyEntry> pending;
+  // Phase 1: detach every removed member, collecting their parked
+  // chains. All removals happen before any re-parking so that entries
+  // dominated only by removed members are re-examined rather than
+  // re-parked under a member that is about to disappear.
+  pending_.clear();
   for (ObjectId id : removed) {
     int slot = sky_.SlotOf(id);
     FAIRMATCH_CHECK(slot >= 0);
-    std::vector<SkyEntry>& plist = sky_.at(slot).plist;
-    pending.insert(pending.end(), std::make_move_iterator(plist.begin()),
-                   std::make_move_iterator(plist.end()));
-    plist.clear();
+    for (uint32_t h = plist_head_[slot]; h != SkyEntryArena::kNil;) {
+      const uint32_t next = arena_.next(h);
+      pending_.push_back(h);
+      h = next;
+    }
+    plist_head_[slot] = SkyEntryArena::kNil;
     sky_.Remove(id);
   }
 
@@ -28,8 +28,8 @@ void SkylineManager::RemoveAndUpdate(const std::vector<ObjectId>& removed) {
   // rest fall in the union of the removed members' exclusive dominance
   // regions and form the candidate set S_cand.
   Heap candidates;
-  for (const SkyEntry& e : pending) {
-    ParkOrPush(&candidates, e);
+  for (uint32_t h : pending_) {
+    ParkOrPush(&candidates, h);
   }
 
   // Phase 3: resume BBS over S_cand (Algorithm 2's ResumeSkyline).

@@ -14,13 +14,27 @@
 //    function is assigned to another object, the search resumes instead
 //    of restarting. Omega decreases on every queue pop; at zero the
 //    search restarts from scratch (the omega trade-off of Section 5.1).
+//
+// Hot-path engineering (beyond the paper): the candidate queue is a
+// CandidateQueue (a sorted ring with O(1) end pops for the common
+// small-Omega regime, a flat min-max heap above ~512 entries — the
+// seed paid an O(Omega) erase(begin()) shift per drop), the seen set
+// is a generation-stamped byte map that restarts reuse without
+// clearing, and for memory-resident indexes the frontier values,
+// biased-probing gains and the knapsack threshold are cached in the
+// state and updated incrementally on probe instead of being rescanned
+// from the lists every iteration. Disk-backed indexes keep the
+// per-call list reads so their counted I/O access sequence is
+// unchanged.
 #ifndef FAIRMATCH_TOPK_REVERSE_TOP1_H_
 #define FAIRMATCH_TOPK_REVERSE_TOP1_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "fairmatch/common/minmax_heap.h"
 #include "fairmatch/common/preference.h"
 #include "fairmatch/topk/function_lists.h"
 
@@ -37,6 +51,95 @@ struct ReverseTop1Options {
   bool resume = true;
 };
 
+/// Candidate queue item: (score, fid), ordered best-first.
+struct ScoredCandidate {
+  double score;
+  FunctionId fid;
+  bool operator<(const ScoredCandidate& other) const {
+    if (score != other.score) return score > other.score;
+    return fid < other.fid;
+  }
+};
+
+/// Capacity-bounded best-first candidate queue: the best is consumed
+/// from one end, overflow is evicted from the other. Two storage
+/// regimes behind one interface, picked by the expected capacity:
+///
+///  * small Omega (the common in-memory setting) — a sorted ring: a
+///    flat best-first vector with a head index, so both end pops are
+///    O(1) (the seed paid an O(Omega) erase(begin()) memmove per
+///    drop) and inserts are one short memmove, which beats any
+///    log-structure for a few hundred entries;
+///  * large Omega (disk-scale |F|) — a flat min-max heap
+///    (common/minmax_heap.h) with O(log Omega) push/pop at both ends.
+///
+/// ScoredCandidate's order is total, so both regimes pop and evict the
+/// exact same elements in the same sequence.
+class CandidateQueue {
+ public:
+  /// Capacities above this use the min-max heap.
+  static constexpr int kHeapThreshold = 512;
+  // Ring-compaction cadence: dead prefix reclaimed every 64 pops.
+  static constexpr size_t kCompactAt = 64;
+
+  /// Empties the queue and (re)selects the regime for `capacity`.
+  void Reset(int capacity) {
+    use_heap_ = capacity > kHeapThreshold;
+    ring_.clear();
+    head_ = 0;
+    heap_.clear();
+  }
+
+  bool empty() const {
+    return use_heap_ ? heap_.empty() : head_ == ring_.size();
+  }
+  size_t size() const {
+    return use_heap_ ? heap_.size() : ring_.size() - head_;
+  }
+
+  const ScoredCandidate& best() const {
+    return use_heap_ ? heap_.min() : ring_[head_];
+  }
+
+  void PopBest() {
+    if (use_heap_) {
+      heap_.pop_min();
+    } else if (++head_ >= kCompactAt) {
+      ring_.erase(ring_.begin(), ring_.begin() + head_);
+      head_ = 0;
+    }
+  }
+
+  void PopWorst() {
+    if (use_heap_) {
+      heap_.pop_max();
+    } else {
+      ring_.pop_back();
+    }
+  }
+
+  void Push(const ScoredCandidate& item) {
+    if (use_heap_) {
+      heap_.push(item);
+    } else {
+      ring_.insert(
+          std::lower_bound(ring_.begin() + head_, ring_.end(), item),
+          item);
+    }
+  }
+
+  size_t memory_bytes() const {
+    return ring_.capacity() * sizeof(ScoredCandidate) +
+           heap_.capacity() * sizeof(ScoredCandidate);
+  }
+
+ private:
+  bool use_heap_ = false;
+  std::vector<ScoredCandidate> ring_;  // sorted best-first from head_
+  size_t head_ = 0;
+  MinMaxHeap<ScoredCandidate> heap_;
+};
+
 /// Per-object resumable TA state. Owned by the caller (one per skyline
 /// object); opaque except for memory accounting.
 class ReverseTop1State {
@@ -46,42 +149,45 @@ class ReverseTop1State {
   /// Approximate bytes held (memory-usage metric).
   size_t memory_bytes() const {
     return sizeof(*this) + positions_.capacity() * sizeof(int) +
-           dim_order_.capacity() * sizeof(int) +
-           queue_.size() * (sizeof(QueueItem) + 32) +
-           seen_.capacity() * sizeof(uint64_t);
+           dim_order_.capacity() * sizeof(int) + queue_.memory_bytes() +
+           frontier_.capacity() * sizeof(double) +
+           gains_.capacity() * sizeof(double) +
+           seen_bits_.capacity() * sizeof(uint64_t) +
+           seen_gen_.capacity() * sizeof(uint8_t);
   }
 
  private:
   friend class ReverseTop1;
 
-  // Candidate queue item: (score, fid), ordered best-first.
-  struct QueueItem {
-    double score;
-    FunctionId fid;
-    bool operator<(const QueueItem& other) const {
-      if (score != other.score) return score > other.score;
-      return fid < other.fid;
-    }
-  };
-
   bool initialized = false;
-  std::vector<int> positions_;     // next unread index per list
-  std::vector<int> dim_order_;     // dims sorted by o[d] descending
-  // Top candidates, kept sorted best-first; capacity-bounded by Omega,
-  // so a flat sorted vector beats a node-based set.
-  std::vector<QueueItem> queue_;
-  std::vector<uint64_t> seen_;     // bitmap over function ids
-  size_t seen_count_ = 0;
+  std::vector<int> positions_;  // next unread index per list
+  std::vector<int> dim_order_;  // dims sorted by o[d] descending
+  // Top candidates, capacity-bounded by Omega.
+  CandidateQueue queue_;
+  // Seen set, representation picked by ReverseTop1::use_seen_epoch_:
+  // resumable searches reset rarely, so they keep the compact bitmap
+  // (1 bit per function — per-probe cache footprint matters more than
+  // the occasional |F|/64-word clear); no-resume searches reset every
+  // call, so they use a generation-stamped byte map (fid seen iff
+  // seen_gen_[fid] == gen_) that resets by bumping gen_ and is wiped
+  // only when the 8-bit generation wraps.
+  std::vector<uint64_t> seen_bits_;
+  std::vector<uint8_t> seen_gen_;
+  uint8_t gen_ = 0;
   int omega_left_ = 0;
   int round_robin_next_ = 0;
 
-  bool Seen(FunctionId fid) const {
-    return (seen_[static_cast<size_t>(fid) >> 6] >> (fid & 63)) & 1;
-  }
-  void MarkSeen(FunctionId fid) {
-    seen_[static_cast<size_t>(fid) >> 6] |= uint64_t{1} << (fid & 63);
-    seen_count_++;
-  }
+  // Memory-resident biased-probing fast path (ReverseTop1::
+  // use_caches_): cached frontier coefficients, probing gains, and
+  // knapsack threshold, incrementally maintained as probes advance the
+  // positions. Unused (left empty) for disk-backed indexes and
+  // round-robin probing.
+  std::vector<double> frontier_;  // next unread coefficient per dim
+  std::vector<double> gains_;    // frontier_[d] * o[d]
+  int best_gain_dim_ = -1;       // argmax of gains_ over live dims
+  double cached_threshold_ = 0.0;
+  bool threshold_valid_ = false;
+
 };
 
 /// Reverse top-1 searcher over one function index.
@@ -92,10 +198,12 @@ class ReverseTop1 {
   /// Returns the unassigned function maximizing f(o) (ties: smaller id),
   /// or nullopt if every function is assigned. `assigned[fid]` nonzero
   /// marks assigned functions. The state resumes from previous calls
-  /// for the same object.
+  /// for the same object. `num_unassigned`, when >= 0, is the caller's
+  /// count of functions with assigned[fid] == 0 (SB maintains it); it
+  /// replaces the O(|F|) exhaustion scan on the queue-starved path.
   std::optional<std::pair<FunctionId, double>> Best(
       ReverseTop1State* state, const Point& o,
-      const std::vector<uint8_t>& assigned);
+      const std::vector<uint8_t>& assigned, int64_t num_unassigned = -1);
 
   /// Number of list probes performed (diagnostics / ablation).
   int64_t probes() const { return probes_; }
@@ -108,10 +216,14 @@ class ReverseTop1 {
   /// Fractional-knapsack threshold over the next-unread list values
   /// (upper bound of f(o) for any function not yet seen in any list).
   /// Returns a negative value when all lists are exhausted.
-  double TightThreshold(const ReverseTop1State& state, const Point& o);
+  double TightThreshold(ReverseTop1State* state, const Point& o);
 
   /// Picks the list to probe next; -1 when all lists are exhausted.
   int PickList(const ReverseTop1State& state, const Point& o);
+
+  /// Refreshes the cached frontier/gains/threshold of dim `d` after its
+  /// position advanced (memory-resident fast path only).
+  void RefreshFrontier(ReverseTop1State* state, const Point& o, int d) const;
 
   /// Entry accessor: raw array when available, virtual call otherwise.
   std::pair<double, FunctionId> EntryAt(int dim, int pos) {
@@ -119,9 +231,30 @@ class ReverseTop1 {
     return raw != nullptr ? raw[pos] : index_->Entry(dim, pos);
   }
 
+  bool Seen(const ReverseTop1State& state, FunctionId fid) const {
+    if (use_seen_epoch_) return state.seen_gen_[fid] == state.gen_;
+    return (state.seen_bits_[static_cast<size_t>(fid) >> 6] >>
+            (fid & 63)) &
+           1;
+  }
+  void MarkSeen(ReverseTop1State* state, FunctionId fid) const {
+    if (use_seen_epoch_) {
+      state->seen_gen_[fid] = state->gen_;
+    } else {
+      state->seen_bits_[static_cast<size_t>(fid) >> 6] |= uint64_t{1}
+                                                          << (fid & 63);
+    }
+  }
+
   FunctionIndexBase* index_;
   ReverseTop1Options options_;
   std::vector<const std::pair<double, FunctionId>*> raw_lists_;
+  // True when every list is memory-resident AND probing is biased: the
+  // state caches frontier/gains/threshold and updates them per probe.
+  bool use_caches_ = false;
+  // Seen-set representation (see ReverseTop1State): epoch byte map for
+  // no-resume (reset-per-call) searches, compact bitmap otherwise.
+  bool use_seen_epoch_ = false;
   int omega_cap_;
   int64_t probes_ = 0;
   int64_t restarts_ = 0;

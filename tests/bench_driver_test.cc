@@ -68,7 +68,7 @@ class BenchDriverTest : public ::testing::Test {
   }
 };
 
-TEST_F(BenchDriverTest, RegistryHasAllThirteenFigures) {
+TEST_F(BenchDriverTest, RegistryHasAllBuiltinFigures) {
   const std::vector<std::string> expected = {
       "ablation_sb",
       "fig08_optimizations",
@@ -83,6 +83,8 @@ TEST_F(BenchDriverTest, RegistryHasAllThirteenFigures) {
       "fig16_nba",
       "fig16_zillow",
       "fig17_disk_functions",
+      "micro_bbs",
+      "micro_reverse_top1",
   };
   EXPECT_EQ(FigureRegistry::Global().Names(), expected);
   for (const std::string& name : expected) {

@@ -1,0 +1,244 @@
+// Unit tests for the hot-path utilities introduced by the perf PR: the
+// flat min-max heap behind the TA candidate queue and the SkyEntry
+// arena behind BBS/UpdateSkyline. Both are exercised with randomized
+// operation sequences against straightforward reference models; the CI
+// Debug job runs these under ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "fairmatch/common/minmax_heap.h"
+#include "fairmatch/common/rng.h"
+#include "fairmatch/geom/point.h"
+#include "fairmatch/skyline/sky_arena.h"
+#include "fairmatch/topk/reverse_top1.h"
+
+namespace fairmatch {
+namespace {
+
+TEST(MinMaxHeapTest, BasicEnds) {
+  MinMaxHeap<int> heap;
+  EXPECT_TRUE(heap.empty());
+  for (int v : {5, 1, 9, 3, 7}) heap.push(v);
+  EXPECT_EQ(heap.size(), 5u);
+  EXPECT_EQ(heap.min(), 1);
+  EXPECT_EQ(heap.max(), 9);
+  heap.pop_min();
+  EXPECT_EQ(heap.min(), 3);
+  heap.pop_max();
+  EXPECT_EQ(heap.max(), 7);
+  heap.pop_max();
+  heap.pop_max();
+  EXPECT_EQ(heap.min(), 3);
+  EXPECT_EQ(heap.max(), 3);
+  heap.pop_min();
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(MinMaxHeapTest, DrainAscendingAndDescending) {
+  Rng rng(101);
+  std::vector<int> values;
+  MinMaxHeap<int> up, down;
+  for (int i = 0; i < 500; ++i) {
+    int v = static_cast<int>(rng.UniformInt(0, 1 << 20)) * 512 + i;
+    values.push_back(v);  // distinct values: total order
+    up.push(v);
+    down.push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (int v : values) {
+    EXPECT_EQ(up.min(), v);
+    up.pop_min();
+  }
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    EXPECT_EQ(down.max(), *it);
+    down.pop_max();
+  }
+}
+
+TEST(MinMaxHeapTest, RandomOpsAgainstMultisetModel) {
+  Rng rng(102);
+  MinMaxHeap<int> heap;
+  std::multiset<int> model;
+  for (int op = 0; op < 20000; ++op) {
+    const int choice = static_cast<int>(rng.UniformInt(0, 3));
+    if (model.empty() || choice == 0) {
+      int v = static_cast<int>(rng.UniformInt(0, 1000));
+      heap.push(v);
+      model.insert(v);
+    } else if (choice == 1) {
+      ASSERT_EQ(heap.min(), *model.begin());
+      heap.pop_min();
+      model.erase(model.begin());
+    } else {
+      ASSERT_EQ(heap.max(), *model.rbegin());
+      heap.pop_max();
+      model.erase(std::prev(model.end()));
+    }
+    ASSERT_EQ(heap.size(), model.size());
+    if (!model.empty()) {
+      ASSERT_EQ(heap.min(), *model.begin());
+      ASSERT_EQ(heap.max(), *model.rbegin());
+    }
+  }
+}
+
+// The exact usage pattern of the TA candidate queue: bounded capacity,
+// best-first item order with id tie-breaks, overflow evicted from the
+// worst end. Must reproduce the seed's sorted-vector semantics.
+TEST(MinMaxHeapTest, BoundedQueueMatchesSortedVector) {
+  struct Item {
+    double score;
+    int fid;
+    bool operator<(const Item& other) const {
+      if (score != other.score) return score > other.score;
+      return fid < other.fid;
+    }
+  };
+  Rng rng(103);
+  for (int cap : {1, 2, 3, 8, 57}) {
+    MinMaxHeap<Item> heap;
+    std::vector<Item> model;  // sorted best-first
+    for (int op = 0; op < 4000; ++op) {
+      if (!model.empty() && rng.UniformInt(0, 4) == 0) {
+        ASSERT_EQ(heap.min().fid, model.front().fid);
+        ASSERT_EQ(heap.min().score, model.front().score);
+        heap.pop_min();
+        model.erase(model.begin());
+        continue;
+      }
+      // Coarse scores force plenty of exact ties.
+      Item item{static_cast<double>(rng.UniformInt(0, 32)) / 32.0, op};
+      heap.push(item);
+      model.insert(std::lower_bound(model.begin(), model.end(), item),
+                   item);
+      if (static_cast<int>(model.size()) > cap) {
+        heap.pop_max();
+        model.pop_back();
+      }
+      ASSERT_EQ(heap.size(), model.size());
+      ASSERT_EQ(heap.min().fid, model.front().fid);
+      ASSERT_EQ(heap.max().fid, model.back().fid);
+    }
+  }
+}
+
+// The TA candidate queue across both storage regimes (sorted ring
+// below the capacity threshold, min-max heap above): identical
+// semantics to the seed's sorted vector, including exact-tie eviction
+// order.
+TEST(CandidateQueueTest, BothRegimesMatchSortedVectorModel) {
+  Rng rng(105);
+  for (int cap : {1, 3, 57, CandidateQueue::kHeapThreshold + 1, 2000}) {
+    CandidateQueue queue;
+    queue.Reset(cap);
+    std::vector<ScoredCandidate> model;  // sorted best-first
+    for (int op = 0; op < 6000; ++op) {
+      if (!model.empty() && rng.UniformInt(0, 4) == 0) {
+        ASSERT_EQ(queue.best().fid, model.front().fid);
+        ASSERT_EQ(queue.best().score, model.front().score);
+        queue.PopBest();
+        model.erase(model.begin());
+        continue;
+      }
+      // Coarse scores force plenty of exact ties.
+      ScoredCandidate item{
+          static_cast<double>(rng.UniformInt(0, 64)) / 64.0, op};
+      queue.Push(item);
+      model.insert(std::lower_bound(model.begin(), model.end(), item),
+                   item);
+      if (static_cast<int>(model.size()) > cap) {
+        queue.PopWorst();
+        model.pop_back();
+      }
+      ASSERT_EQ(queue.size(), model.size());
+      ASSERT_EQ(queue.best().fid, model.front().fid);
+    }
+    while (!model.empty()) {
+      ASSERT_EQ(queue.best().fid, model.front().fid);
+      queue.PopBest();
+      model.erase(model.begin());
+    }
+    ASSERT_TRUE(queue.empty());
+  }
+}
+
+TEST(SkyEntryArenaTest, AllocFreeReuseAndHighWater) {
+  SkyEntryArena arena;
+  Point p(3, 0.5f);
+  uint32_t a = arena.Alloc(SkyEntry::ForObject(p, 1));
+  uint32_t b = arena.Alloc(SkyEntry::ForObject(p, 2));
+  EXPECT_EQ(arena.live(), 2u);
+  EXPECT_EQ(arena.high_water(), 2u);
+  EXPECT_EQ(arena.entry(a).id, 1);
+  EXPECT_EQ(arena.entry(b).id, 2);
+  arena.Free(a);
+  EXPECT_EQ(arena.live(), 1u);
+  // The freed slot is recycled before the pool grows.
+  uint32_t c = arena.Alloc(SkyEntry::ForObject(p, 3));
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(arena.entry(c).id, 3);
+  EXPECT_EQ(arena.high_water(), 2u);
+  uint32_t d = arena.Alloc(SkyEntry::ForObject(p, 4));
+  EXPECT_EQ(arena.live(), 3u);
+  EXPECT_EQ(arena.high_water(), 3u);
+  arena.Free(b);
+  arena.Free(c);
+  arena.Free(d);
+  EXPECT_EQ(arena.live(), 0u);
+  EXPECT_EQ(arena.high_water(), 3u);
+  EXPECT_GT(arena.high_water_bytes(), 0u);
+}
+
+TEST(SkyEntryArenaTest, IntrusiveChainsSurviveGrowth) {
+  SkyEntryArena arena;
+  Point p(2, 0.25f);
+  // Build a chain while forcing multiple buffer growths.
+  uint32_t head = SkyEntryArena::kNil;
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t h = arena.Alloc(SkyEntry::ForObject(p, i));
+    arena.set_next(h, head);
+    head = h;
+  }
+  // Walk the chain: ids come back in reverse insertion order.
+  int expect = 9999;
+  size_t walked = 0;
+  for (uint32_t h = head; h != SkyEntryArena::kNil; h = arena.next(h)) {
+    ASSERT_EQ(arena.entry(h).id, expect--);
+    walked++;
+  }
+  EXPECT_EQ(walked, 10000u);
+  EXPECT_EQ(arena.high_water(), 10000u);
+}
+
+TEST(SkyEntryArenaTest, RandomChurnAgainstModel) {
+  Rng rng(104);
+  SkyEntryArena arena;
+  Point p(2, 0.75f);
+  std::vector<std::pair<uint32_t, int>> live;  // (handle, id)
+  int next_id = 0;
+  size_t max_live = 0;
+  for (int op = 0; op < 50000; ++op) {
+    if (live.empty() || rng.UniformInt(0, 2) == 0) {
+      uint32_t h = arena.Alloc(SkyEntry::ForObject(p, next_id));
+      live.emplace_back(h, next_id++);
+    } else {
+      size_t pick = rng.UniformInt(0, static_cast<int>(live.size()) - 1);
+      ASSERT_EQ(arena.entry(live[pick].first).id, live[pick].second);
+      arena.Free(live[pick].first);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    max_live = std::max(max_live, live.size());
+    ASSERT_EQ(arena.live(), live.size());
+  }
+  EXPECT_EQ(arena.high_water(), max_live);
+  for (const auto& [h, id] : live) {
+    ASSERT_EQ(arena.entry(h).id, id);
+  }
+}
+
+}  // namespace
+}  // namespace fairmatch
