@@ -21,6 +21,33 @@ def fail(message):
     sys.exit(1)
 
 
+def check_batch_figure(batch_rows):
+    """batch_throughput carries the batch layer's determinism guarantee
+    onto the report surface: the same batch runs at every lane count
+    (the x axis), so each algorithm's deterministic totals (io_accesses,
+    pairs, loops) must be identical across its rows, and the sweep must
+    actually cover more than one lane count."""
+    by_algo = {}
+    for row in batch_rows:
+        by_algo.setdefault(row["algorithm"], []).append(row)
+    for algo, rows in by_algo.items():
+        if len(rows) < 2:
+            fail(
+                f"batch_throughput: {algo!r} has {len(rows)} row(s); "
+                "expected a sweep over >= 2 lane counts"
+            )
+        baseline = rows[0]
+        for row in rows[1:]:
+            for field in ("io_accesses", "pairs", "loops"):
+                if row[field] != baseline[field]:
+                    fail(
+                        f"batch_throughput: {algo!r} {field} differs across "
+                        f"lane counts ({baseline[field]} at x={baseline['x']} "
+                        f"vs {row[field]} at x={row['x']}): the batch layer "
+                        "is not thread-count deterministic"
+                    )
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} REPORT.json FAIRMATCH_BENCH_BINARY")
@@ -65,6 +92,8 @@ def main():
                 if not isinstance(value, (int, float)) or value < 0:
                     fail(f"{figure}: bad {field}={value!r} in row {row}")
             rows += 1
+
+    check_batch_figure(report["figures"].get("batch_throughput", []))
 
     print(
         f"check_bench_report: OK — {len(reported)} figures, {rows} rows, "

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "fairmatch/common/check.h"
 #include "fairmatch/common/rng.h"
@@ -18,6 +19,9 @@ namespace {
 
 /// --scale override; empty means "use FAIRMATCH_SCALE".
 std::string g_scale_override;
+
+/// --threads / --batch state for the batch_throughput figure.
+BatchBenchParams g_batch_params;
 
 bool KnownScale(const char* name) {
   return std::strcmp(name, "paper") == 0 || std::strcmp(name, "quick") == 0 ||
@@ -56,6 +60,12 @@ BenchConfig Scale(BenchConfig config) {
   config.num_objects = Scaled(config.num_objects, 100);
   return config;
 }
+
+void SetBatchBenchParams(BatchBenchParams params) {
+  g_batch_params = std::move(params);
+}
+
+const BatchBenchParams& GetBatchBenchParams() { return g_batch_params; }
 
 bool SameProblemInputs(const BenchConfig& a, const BenchConfig& b) {
   return a.num_functions == b.num_functions &&

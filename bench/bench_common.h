@@ -65,6 +65,18 @@ struct BenchConfig {
 /// Applies ScaleFactor() to the cardinalities.
 BenchConfig Scale(BenchConfig config);
 
+/// Parameters of the batch_throughput figure, set by the driver's
+/// --threads / --batch flags before figures expand (like SetScale).
+struct BatchBenchParams {
+  /// Worker-lane counts swept as the figure's x axis.
+  std::vector<int> threads = {1, 2, 4, 8};
+  /// Independent problem instances per batch; 0 picks the scale
+  /// default (Scaled(64), at least 8).
+  int batch_items = 0;
+};
+void SetBatchBenchParams(BatchBenchParams params);
+const BatchBenchParams& GetBatchBenchParams();
+
 /// True iff the two configurations generate the same problem instance
 /// (BuildProblem inputs match; run-time knobs like the buffer fraction
 /// are ignored). The driver uses this to share one generated problem

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "fairmatch/common/check.h"
 
@@ -152,6 +153,24 @@ int RunDriver(const DriverOptions& options) {
   if (options.repeat < 1) {
     std::cerr << "--repeat must be >= 1\n";
     return 2;
+  }
+  for (const int threads : options.batch_threads) {
+    if (threads < 1) {
+      std::cerr << "--threads entries must be >= 1\n";
+      return 2;
+    }
+  }
+  if (options.batch_items < 0) {
+    std::cerr << "batch_items must be >= 0 (0 = scale default)\n";
+    return 2;
+  }
+  {
+    // Fix the batch figure's sweep before figures expand (like the
+    // scale above): its sections() closure reads these.
+    BatchBenchParams params;
+    if (!options.batch_threads.empty()) params.threads = options.batch_threads;
+    params.batch_items = options.batch_items;
+    SetBatchBenchParams(std::move(params));
   }
   if (options.format != "text" && options.format != "csv" &&
       options.format != "json") {

@@ -33,6 +33,12 @@ struct DriverOptions {
   std::string json_path;
   /// Runs per cell; the report keeps per-field medians.
   int repeat = 1;
+  /// Worker-lane counts for the batch_throughput figure (its x axis);
+  /// empty keeps the BatchBenchParams default {1, 2, 4, 8}.
+  std::vector<int> batch_threads;
+  /// Problem instances per batch for batch_throughput; 0 keeps the
+  /// scale default.
+  int batch_items = 0;
 };
 
 /// One expanded figure, ready to execute.

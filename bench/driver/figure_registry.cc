@@ -2,17 +2,19 @@
 
 namespace fairmatch::bench {
 
-// Defined in figures.cc / micro_figures.cc; referenced here so the
-// registration translation units are always pulled out of the static
-// library.
+// Defined in figures.cc / micro_figures.cc / batch_figure.cc;
+// referenced here so the registration translation units are always
+// pulled out of the static library.
 void RegisterBuiltinFigures(FigureRegistry* registry);
 void RegisterMicroFigures(FigureRegistry* registry);
+void RegisterBatchFigure(FigureRegistry* registry);
 
 FigureRegistry& FigureRegistry::Global() {
   static FigureRegistry* registry = [] {
     auto* r = new FigureRegistry();
     RegisterBuiltinFigures(r);
     RegisterMicroFigures(r);
+    RegisterBatchFigure(r);
     return r;
   }();
   return *registry;

@@ -33,6 +33,10 @@ constexpr char kUsage[] =
   --csv=PATH               additionally write a CSV report to PATH
   --json=PATH              additionally write a JSON report to PATH
   --repeat=N               runs per measurement; reports per-field medians
+  --threads=N[,N...]       worker-lane counts swept by batch_throughput
+                           (default: 1,2,4,8)
+  --batch=K                problem instances per batch for batch_throughput
+                           (default: scale-dependent)
   --list                   print registered figures and matchers, then exit
   --list-names             print figure names only (machine-readable)
   --help                   this text
@@ -114,6 +118,31 @@ int Main(int argc, char** argv) {
         std::cerr << "--repeat expects an integer, got '" << value << "'\n";
         return 2;
       }
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options.batch_threads.clear();
+      for (const std::string& part : SplitCommas(value)) {
+        char* end = nullptr;
+        const long threads = std::strtol(part.c_str(), &end, 10);
+        if (end == part.c_str() || *end != '\0' || threads < 1) {
+          std::cerr << "--threads expects positive integers, got '" << value
+                    << "'\n";
+          return 2;
+        }
+        options.batch_threads.push_back(static_cast<int>(threads));
+      }
+      if (options.batch_threads.empty()) {
+        std::cerr << "--threads expects at least one lane count\n";
+        return 2;
+      }
+    } else if (ParseFlag(arg, "batch", &value)) {
+      char* end = nullptr;
+      const long items = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || items < 1) {
+        std::cerr << "--batch expects a positive integer, got '" << value
+                  << "'\n";
+        return 2;
+      }
+      options.batch_items = static_cast<int>(items);
     } else {
       std::cerr << "unknown flag '" << arg << "'\n\n" << kUsage;
       return 2;

@@ -1,0 +1,65 @@
+// Batch execution demo: many independent assignment problems through
+// the BatchRunner, once on a single lane and once on four.
+//
+// Models a server draining a queue of preference-query batches (one
+// per tenant, say): each item is generated, indexed and solved inside
+// its worker lane, and a small simulated disk latency stands in for
+// the I/O stalls a real disk-resident deployment overlaps by running
+// lanes in parallel. The outputs are byte-identical either way — the
+// engine's determinism guarantee — so the only thing parallelism
+// changes is the wall clock.
+//
+// Build & run:   ./build/examples/example_batch_demo
+#include <cstdio>
+
+#include "fairmatch/engine/batch_runner.h"
+
+using namespace fairmatch;
+
+int main() {
+  // 16 tenants, each with its own (seeded) functions and objects.
+  BatchProblemSpec spec;
+  spec.num_functions = 60;
+  spec.num_objects = 600;
+  spec.dims = 3;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.base_seed = 2009;
+  spec.io_latency_us = 150;  // pretend the simulated disk is a disk
+  const int kTenants = 16;
+
+  std::printf("Solving %d independent problems (%d users x %d objects "
+              "each) with SB:\n\n", kTenants, spec.num_functions,
+              spec.num_objects);
+
+  BatchResult serial, parallel;
+  {
+    BatchRunner runner(1);
+    serial = runner.RunGenerated("SB", spec, kTenants);
+  }
+  {
+    BatchRunner runner(4);
+    parallel = runner.RunGenerated("SB", spec, kTenants);
+  }
+
+  for (const BatchResult* r : {&serial, &parallel}) {
+    std::printf("  threads=%d  wall=%8.1f ms  throughput=%6.1f items/s  "
+                "io=%lld  pairs=%llu\n",
+                r->stats.threads, r->stats.wall_ms, r->stats.items_per_sec,
+                static_cast<long long>(r->stats.totals.io_accesses),
+                static_cast<unsigned long long>(r->stats.totals.pairs));
+  }
+
+  // Determinism: same items, same order, same matchings, same counters.
+  bool identical = serial.items.size() == parallel.items.size();
+  for (size_t i = 0; identical && i < serial.items.size(); ++i) {
+    identical = SameMatching(serial.items[i].matching,
+                             parallel.items[i].matching) &&
+                serial.items[i].stats.io_accesses ==
+                    parallel.items[i].stats.io_accesses;
+  }
+  std::printf("\nPer-item results identical across thread counts: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("Speedup at 4 lanes: %.2fx\n",
+              serial.stats.wall_ms / parallel.stats.wall_ms);
+  return identical ? 0 : 1;
+}

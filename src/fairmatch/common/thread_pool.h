@@ -1,0 +1,106 @@
+// A small fixed-size worker pool for batch execution.
+//
+// The engine's BatchRunner (engine/batch_runner.h) fans independent
+// assignment problems out over worker lanes; this pool is the reusable
+// mechanism underneath: N long-lived threads draining one FIFO task
+// queue. It is deliberately minimal — no futures, no priorities, no
+// work stealing — because every fairmatch use so far submits a handful
+// of coarse lane loops and then waits for all of them.
+//
+// Thread safety: Submit() and Wait() may be called from any thread,
+// including concurrently; tasks themselves must not call Wait() (a task
+// waiting for the queue it runs on deadlocks a single-worker pool).
+// The destructor drains the queue (equivalent to Wait()) before
+// joining the workers.
+#ifndef FAIRMATCH_COMMON_THREAD_POOL_H_
+#define FAIRMATCH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fairmatch/common/check.h"
+
+namespace fairmatch {
+
+/// Fixed pool of worker threads over a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (at least 1).
+  explicit ThreadPool(int threads) {
+    FAIRMATCH_CHECK(threads >= 1);
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Tasks run in submission order but complete in
+  /// any order once more than one worker exists.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      FAIRMATCH_CHECK(!stopping_);
+      queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Blocks until the queue is empty and every running task finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_THREAD_POOL_H_

@@ -3,6 +3,11 @@
 // and anti-correlated object sets, plus preference-function generators
 // (independent simplex weights and the clustered Gaussian mixture of the
 // Figure 12 experiment).
+//
+// Concurrency: every generator is a pure function of its arguments and
+// the explicit Rng — no global or static state — so concurrent threads
+// may generate in parallel as long as each passes its own Rng (batch
+// lanes derive one from their item seed; see engine/batch_runner.h).
 #ifndef FAIRMATCH_DATA_SYNTHETIC_H_
 #define FAIRMATCH_DATA_SYNTHETIC_H_
 

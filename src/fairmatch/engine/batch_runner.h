@@ -1,0 +1,156 @@
+// Batched/parallel execution over the Matcher engine seam.
+//
+// A production deployment of the paper's algorithms answers many
+// independent preference-query batches concurrently, not one problem at
+// a time. BatchRunner is that multi-problem Run path: it takes a vector
+// of (matcher name, MatcherEnv) items — or generates K independent
+// problem instances from seeds — and fans them out over T worker lanes
+// on a shared ThreadPool (common/thread_pool.h).
+//
+// Determinism contract (enforced by tests/batch_test.cc): every item is
+// an isolated run — its own problem, its own storage stack, its own
+// ExecContext — so the per-item matching and the per-item deterministic
+// counters (io_accesses, pairs, loops) are byte-identical at any thread
+// count, and identical to a direct Matcher::Run() on the same inputs.
+// Only wall-clock numbers (cpu_ms, throughput) vary with T.
+//
+// Concurrency contract: the layers underneath are NOT internally
+// synchronized (the LRU buffer pools mutate on every read — see
+// storage/buffer_pool.h); isolation, not locking, is what makes this
+// safe. Caller-assembled items must therefore not share any mutable
+// state across items: no shared tree over a PagedNodeStore, no shared
+// DiskFunctionStore, no shared ExecContext. Immutable inputs (the
+// AssignmentProblem, a tree over a MemNodeStore — provided no matcher
+// mutates it) may be shared by read-only matchers; see the per-layer
+// notes in rtree/node_store.h.
+#ifndef FAIRMATCH_ENGINE_BATCH_RUNNER_H_
+#define FAIRMATCH_ENGINE_BATCH_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fairmatch/data/synthetic.h"
+#include "fairmatch/engine/matcher.h"
+
+namespace fairmatch {
+
+/// One unit of batch work: a registered matcher name plus the
+/// environment to run it in. The environment must satisfy the
+/// per-item-isolation contract above; env.ctx, when set, must be
+/// private to this item (it is what makes the item's counters
+/// deterministic regardless of lane placement).
+struct BatchItem {
+  std::string matcher_name;
+  MatcherEnv env;
+};
+
+/// Aggregated execution numbers, used both per lane and as batch
+/// totals. io/pairs/loops/cpu_ms are sums over the items accounted
+/// here; peak_memory_bytes is the maximum over them (lanes reuse
+/// memory, they don't hold all items at once).
+struct LaneStats {
+  int items = 0;
+  int64_t io_accesses = 0;
+  double cpu_ms = 0.0;
+  uint64_t pairs = 0;
+  int64_t loops = 0;
+  size_t peak_memory_bytes = 0;
+
+  void Accumulate(const RunStats& stats) {
+    ++items;
+    io_accesses += stats.io_accesses;
+    cpu_ms += stats.cpu_ms;
+    pairs += stats.pairs;
+    loops += stats.loops;
+    if (stats.peak_memory_bytes > peak_memory_bytes) {
+      peak_memory_bytes = stats.peak_memory_bytes;
+    }
+  }
+};
+
+/// Batch-level aggregates. `totals` sums every item (and therefore
+/// equals the field-wise sum of `lanes`, which tests assert); `lanes`
+/// breaks the same numbers down by worker lane. Which lane ran which
+/// item depends on scheduling, so the lane breakdown — unlike every
+/// per-item number — is not stable across thread counts.
+struct BatchStats {
+  int threads = 1;
+  double wall_ms = 0.0;
+  double items_per_sec = 0.0;
+  LaneStats totals;
+  std::vector<LaneStats> lanes;  // size == threads
+};
+
+/// Per-item results in submission order, plus the aggregates.
+struct BatchResult {
+  std::vector<AssignResult> items;
+  BatchStats stats;
+};
+
+/// Shape of the K independent problem instances the seeded convenience
+/// path generates: instance i is built from seed `base_seed + i` with
+/// the synthetic generators (data/synthetic.h), indexed and solved
+/// entirely inside its worker lane.
+struct BatchProblemSpec {
+  int num_functions = 50;
+  int num_objects = 500;
+  int dims = 3;
+  Distribution distribution = Distribution::kIndependent;
+  uint64_t base_seed = 1;
+  int function_capacity = 1;
+  int object_capacity = 1;
+  int max_gamma = 1;
+
+  /// Storage layout, mirroring bench_common: standard setting (objects
+  /// on a per-item paged store) or the Section 7.6 disk-resident-F
+  /// setting (objects in memory, coefficient lists on a per-item disk).
+  bool disk_resident_functions = false;
+  double buffer_fraction = 0.02;
+
+  /// Per-physical-I/O latency for the item's simulated disks
+  /// (DiskManager::set_io_latency_us). Zero keeps the pure counted-I/O
+  /// model; the batch throughput bench sets it so lanes overlap real
+  /// stalls. Counted I/O is unaffected either way.
+  int io_latency_us = 0;
+};
+
+/// Runs batches of independent assignment problems across worker lanes.
+class BatchRunner {
+ public:
+  /// `threads` worker lanes (clamped to at least 1).
+  explicit BatchRunner(int threads);
+
+  int threads() const { return threads_; }
+
+  /// Runs caller-assembled items and returns their results in
+  /// submission order. Every item's matcher name must resolve against
+  /// MatcherRegistry::Global() under its env (the same conditions
+  /// MatcherRegistry::Create checks); violations CHECK-fail.
+  BatchResult Run(const std::vector<BatchItem>& items);
+
+  /// Generates `count` independent instances per `spec` and runs
+  /// `matcher_name` on each. Generation, index build and solve all
+  /// happen inside the worker lanes; results come back in instance
+  /// order (instance i == seed base_seed + i).
+  BatchResult RunGenerated(const std::string& matcher_name,
+                           const BatchProblemSpec& spec, int count);
+
+ private:
+  /// Shared fan-out: `run_item(i)` executes item i on some lane.
+  BatchResult RunImpl(size_t count,
+                      const std::function<AssignResult(size_t)>& run_item);
+
+  int threads_;
+};
+
+/// Builds and solves one seeded instance exactly as RunGenerated's
+/// lanes do (problem from seed base_seed + index, private storage
+/// stack, private ExecContext). This is the single-run oracle the
+/// batch determinism tests compare lane outputs against.
+AssignResult RunGeneratedInstance(const std::string& matcher_name,
+                                  const BatchProblemSpec& spec, size_t index);
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_ENGINE_BATCH_RUNNER_H_

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "fairmatch/assign/brute_force.h"
+#include "fairmatch/common/check.h"
 #include "fairmatch/assign/chain.h"
 #include "fairmatch/assign/naive_matcher.h"
 #include "fairmatch/assign/sb.h"
@@ -37,6 +38,11 @@ class AdapterMatcher : public Matcher {
   std::string Name() const override { return name_; }
 
   AssignResult Run() override {
+    // Run() consumes the environment (Chain deletes from the tree, the
+    // context's clock and counters are single-run); a second call would
+    // silently produce garbage, so it aborts instead.
+    FAIRMATCH_CHECK(!ran_ && "Matcher::Run() called twice");
+    ran_ = true;
     if (env_.ctx != nullptr) env_.ctx->BeginRun();
     AssignResult result = run_(env_);
     result.stats.algorithm = name_;
@@ -49,6 +55,7 @@ class AdapterMatcher : public Matcher {
   std::string name_;
   MatcherEnv env_;
   RunFn run_;
+  bool ran_ = false;
 };
 
 MatcherInfo Variant(const std::string& name, const std::string& description,

@@ -29,6 +29,12 @@ namespace fairmatch {
 /// memory tracker, and the run wall clock. Create one per measured run
 /// (the object is cheap); pass it to every storage object and matcher
 /// participating in the run.
+///
+/// "Shared" means shared among the storage objects of ONE run, not
+/// among threads: counter increments are plain loads/stores. Parallel
+/// batch execution keeps one ExecContext per item (never per batch),
+/// which is also what makes each item's counters deterministic — see
+/// engine/batch_runner.h.
 class ExecContext {
  public:
   ExecContext() = default;

@@ -20,7 +20,9 @@
 namespace fairmatch {
 
 /// Everything a matcher needs to run, assembled by the caller. The
-/// referenced objects must outlive the matcher.
+/// referenced objects must outlive the matcher. For parallel batch
+/// execution the environment must be item-private (tree, stores and
+/// ctx are stateful even on reads) — see engine/batch_runner.h.
 struct MatcherEnv {
   /// The problem instance. Required.
   const AssignmentProblem* problem = nullptr;
@@ -56,7 +58,8 @@ class Matcher {
 
   /// Runs the assignment to completion. Call at most once per instance:
   /// matchers may consume their environment (Chain deletes from the
-  /// object tree).
+  /// object tree). Builtin matchers CHECK-fail on a second call;
+  /// external implementations should do the same.
   virtual AssignResult Run() = 0;
 };
 

@@ -43,6 +43,12 @@ struct MatcherInfo {
 };
 
 /// String-keyed matcher factory registry.
+///
+/// Thread safety: Global()'s lazy construction (builtins included) is
+/// synchronized by the magic static. After that, Find/Create/Names are
+/// const and safe to call from any number of threads concurrently —
+/// BatchRunner lanes resolve matchers this way. Register() is NOT
+/// synchronized: register external variants before spawning lanes.
 class MatcherRegistry {
  public:
   /// The process-wide registry, with all built-in algorithms already
@@ -50,7 +56,8 @@ class MatcherRegistry {
   static MatcherRegistry& Global();
 
   /// Registers a variant. Re-registering a name replaces the entry
-  /// (tests use this to stub variants).
+  /// (tests use this to stub variants). Not thread-safe: must not race
+  /// with any other registry call.
   void Register(MatcherInfo info);
 
   /// Entry for `name`, or nullptr if unknown.

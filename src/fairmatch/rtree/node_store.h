@@ -6,6 +6,15 @@
 // with no I/O accounting — this models the paper's main-memory R-tree
 // over the function weights (used by the Chain baseline) and is also
 // used by tests.
+//
+// Concurrency (audited for engine/batch_runner.h):
+//  * PagedNodeStore::Read mutates buffer state (LRU order, pin counts)
+//    on every call — it is single-lane only, like the BufferPool and
+//    DiskManager underneath. Parallel batch items each own a store.
+//  * MemNodeStore::Read is mutation-free and returns stable bytes, so
+//    any number of threads may Read concurrently PROVIDED no thread
+//    calls Write/Allocate/Free meanwhile (tree-mutating matchers like
+//    Chain therefore still need a per-item store + tree).
 #ifndef FAIRMATCH_RTREE_NODE_STORE_H_
 #define FAIRMATCH_RTREE_NODE_STORE_H_
 

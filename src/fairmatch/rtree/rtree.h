@@ -5,6 +5,13 @@
 // algorithms (BBS skyline, BRS ranked search) live in their own modules
 // and traverse the tree through ReadNode(), so that every traversal is
 // charged I/O by the node store.
+//
+// Concurrency: the tree itself adds no mutable state on the read path —
+// ReadNode()/ScanAll() are const and safe for concurrent readers iff
+// the backing NodeStore is (MemNodeStore: yes, while nobody mutates;
+// PagedNodeStore: no, its buffer pool mutates on every read — see
+// rtree/node_store.h). BulkLoad/Insert/Delete always require exclusive
+// access. Batch execution gives each lane a private store + tree.
 #ifndef FAIRMATCH_RTREE_RTREE_H_
 #define FAIRMATCH_RTREE_RTREE_H_
 

@@ -53,6 +53,13 @@ class PageHandle {
 /// LRU replacement buffer pool. Frames above capacity are tolerated while
 /// pinned (a path of pinned pages may exceed a tiny buffer); they are
 /// evicted as soon as they are unpinned.
+///
+/// Not thread-safe, even for concurrent FetchPage() of the same page:
+/// every fetch moves LRU state and pin counts. A pool (and the
+/// DiskManager and PerfCounters it is wired to) belongs to exactly one
+/// execution lane; batch execution (engine/batch_runner.h) isolates
+/// lanes by giving each its own storage stack rather than locking here,
+/// which also keeps per-lane I/O counts deterministic.
 class BufferPool {
  public:
   /// `capacity_frames` may be 0 (no caching). `counters` must outlive

@@ -1,6 +1,17 @@
 #include "fairmatch/storage/disk_manager.h"
 
+#include <chrono>
+#include <thread>
+
 namespace fairmatch {
+
+namespace {
+
+void SimulateLatency(int us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
 
 PageId DiskManager::AllocatePage() {
   if (!free_list_.empty()) {
@@ -23,11 +34,13 @@ void DiskManager::FreePage(PageId pid) {
 
 void DiskManager::ReadPage(PageId pid, std::byte* dst) const {
   FAIRMATCH_CHECK(IsLive(pid));
+  SimulateLatency(io_latency_us_);
   std::memcpy(dst, pages_[pid]->bytes, kPageSize);
 }
 
 void DiskManager::WritePage(PageId pid, const std::byte* src) {
   FAIRMATCH_CHECK(IsLive(pid));
+  SimulateLatency(io_latency_us_);
   std::memcpy(pages_[pid]->bytes, src, kPageSize);
 }
 

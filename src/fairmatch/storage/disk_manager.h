@@ -23,8 +23,12 @@ struct PageData {
   std::byte bytes[kPageSize];
 };
 
-/// Allocates, frees and transfers fixed-size pages. Not thread-safe; all
-/// fairmatch algorithms are single-threaded like the paper's.
+/// Allocates, frees and transfers fixed-size pages.
+///
+/// Not thread-safe: one DiskManager (like the buffer pool above it)
+/// belongs to exactly one execution lane. Batch execution
+/// (engine/batch_runner.h) gives every lane its own storage stack
+/// instead of locking this one.
 class DiskManager {
  public:
   DiskManager() = default;
@@ -43,6 +47,16 @@ class DiskManager {
 
   /// Copies `src` (kPageSize bytes) into the page.
   void WritePage(PageId pid, const std::byte* src);
+
+  /// Per-physical-access latency, in microseconds. Zero (the default)
+  /// keeps the disk a pure byte store, as in all paper experiments,
+  /// where cost is *counted* rather than waited out. A positive value
+  /// makes each ReadPage/WritePage block for that long, modeling a real
+  /// device; the batch throughput bench uses this so that multi-lane
+  /// runs overlap I/O stalls the way a real disk-resident deployment
+  /// would. Counted I/O (PerfCounters) is unaffected.
+  void set_io_latency_us(int us) { io_latency_us_ = us; }
+  int io_latency_us() const { return io_latency_us_; }
 
   /// Number of pages ever allocated (capacity of the simulated file,
   /// including freed pages). Used to size buffers as a % of the file.
@@ -63,6 +77,7 @@ class DiskManager {
 
   std::vector<std::unique_ptr<PageData>> pages_;
   std::vector<PageId> free_list_;
+  int io_latency_us_ = 0;
 };
 
 }  // namespace fairmatch

@@ -33,6 +33,11 @@ struct ListRecord {
 };
 
 /// Disk-backed implementation of FunctionIndexBase with counted I/O.
+///
+/// Not thread-safe, reads included: Entry/ScoreOf/ReadListPage/FetchEff
+/// all go through the LRU buffer (which mutates on every access) and
+/// the shared PerfCounters. One store per execution lane — batch items
+/// running concurrently (engine/batch_runner.h) each build their own.
 class DiskFunctionStore : public FunctionIndexBase {
  public:
   /// Builds the lists from `fns` and flushes them to the simulated disk.
@@ -82,6 +87,8 @@ class DiskFunctionStore : public FunctionIndexBase {
   void ResetCounters();
   void SetBufferFraction(double fraction);
   int64_t num_pages() const { return disk_.num_pages(); }
+  /// The underlying simulated disk (latency knob, diagnostics).
+  DiskManager& disk() { return disk_; }
 
  private:
   double RandomCoef(int dim, FunctionId fid);

@@ -2,7 +2,10 @@
 // validation (clean errors instead of abort()), and golden checks of
 // the CSV/JSON report shapes a smoke-scale figure produces.
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -71,6 +74,7 @@ class BenchDriverTest : public ::testing::Test {
 TEST_F(BenchDriverTest, RegistryHasAllBuiltinFigures) {
   const std::vector<std::string> expected = {
       "ablation_sb",
+      "batch_throughput",
       "fig08_optimizations",
       "fig09_dimensionality",
       "fig10_function_cardinality",
@@ -211,6 +215,79 @@ TEST_F(BenchDriverTest, RowsCarryDeterministicFieldsAcrossRepeats) {
     EXPECT_EQ(once[i].seed, thrice[i].seed);
     EXPECT_GT(once[i].pairs, 0u);
   }
+}
+
+// The batch figure: one row per (lane count, algorithm), with the
+// deterministic columns (io/pairs/loops — batch totals) identical at
+// every lane count. This is the same cross-thread invariant
+// tests/batch_test.cc proves at the engine layer, asserted here on the
+// report surface CI gates on.
+/// Restores the default batch-figure params on scope exit, so a failed
+/// ASSERT inside a test cannot leak overrides into later tests.
+struct BatchParamsGuard {
+  ~BatchParamsGuard() { SetBatchBenchParams(BatchBenchParams{}); }
+};
+
+TEST_F(BenchDriverTest, BatchThroughputRowsAreThreadCountInvariant) {
+  BatchParamsGuard guard;
+  BatchBenchParams params;
+  params.threads = {1, 2};
+  params.batch_items = 4;
+  SetBatchBenchParams(params);
+  const std::vector<ReportRow> rows = RunFigure("batch_throughput", 1, {});
+
+  const std::set<std::string> algos = {"SB", "BruteForce", "SB-alt"};
+  ASSERT_EQ(rows.size(), params.threads.size() * algos.size());
+  std::map<std::string, std::vector<ReportRow>> by_algo;
+  for (const ReportRow& row : rows) {
+    EXPECT_EQ(row.figure, "batch_throughput");
+    EXPECT_TRUE(row.x == "1" || row.x == "2") << row.x;
+    EXPECT_EQ(algos.count(row.algorithm), 1u) << row.algorithm;
+    EXPECT_GT(row.pairs, 0u) << row.algorithm;
+    by_algo[row.algorithm].push_back(row);
+  }
+  for (const auto& [algo, algo_rows] : by_algo) {
+    ASSERT_EQ(algo_rows.size(), 2u) << algo;
+    EXPECT_EQ(algo_rows[0].io_accesses, algo_rows[1].io_accesses) << algo;
+    EXPECT_EQ(algo_rows[0].pairs, algo_rows[1].pairs) << algo;
+    EXPECT_EQ(algo_rows[0].loops, algo_rows[1].loops) << algo;
+  }
+}
+
+// End-to-end plumbing of the --threads/--batch flags: DriverOptions ->
+// SetBatchBenchParams -> figure expansion -> CSV rows.
+TEST_F(BenchDriverTest, BatchFlagsPlumbThroughRunDriver) {
+  BatchParamsGuard guard;
+  const std::string out_path =
+      ::testing::TempDir() + "/fairmatch_batch_flags.csv";
+  DriverOptions options;
+  options.figures = {"batch_throughput"};
+  options.scale = "smoke";
+  options.format = "csv";
+  options.out_path = out_path;
+  options.batch_threads = {1, 3};
+  options.batch_items = 4;
+  ASSERT_EQ(RunDriver(options), 0);
+
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::vector<std::string> lines = SplitLines(buffer.str());
+  ASSERT_EQ(lines.size(), 1u + 2 * 3);  // header + {1,3} x three algos
+  EXPECT_EQ(lines[0], CsvHeader());
+  std::set<std::string> xs;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> f = SplitFields(lines[i]);
+    ASSERT_EQ(f.size(), 12u) << lines[i];
+    EXPECT_EQ(f[0], "batch_throughput");
+    xs.insert(f[2]);
+    for (int n = 4; n <= 9; ++n) {
+      EXPECT_TRUE(NonNegativeNumber(f[n])) << lines[i];
+    }
+  }
+  EXPECT_EQ(xs, (std::set<std::string>{"1", "3"}));
+  std::remove(out_path.c_str());
 }
 
 TEST_F(BenchDriverTest, AblationRunsThroughCustomRunners) {

@@ -183,6 +183,22 @@ INSTANTIATE_TEST_SUITE_P(
                     /*function_capacity=*/2, /*object_capacity=*/2,
                     /*max_gamma=*/8}));
 
+// Run() consumes the environment, so a second call on the same matcher
+// instance is a programming error — builtin matchers abort rather than
+// silently return garbage (documented in engine/matcher.h).
+TEST(MatcherContractTest, SecondRunAborts) {
+  ProblemSpec spec;
+  AssignmentProblem problem = RandomProblem(spec);
+  MemTree mem(problem);
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &mem.tree;
+  auto matcher = MatcherRegistry::Global().Create("SB", env);
+  ASSERT_NE(matcher, nullptr);
+  EXPECT_FALSE(matcher->Run().matching.empty());
+  EXPECT_DEATH(matcher->Run(), "called twice");
+}
+
 // The shared context aggregates multi-store I/O: a disk-F run's
 // RunStats must cover both the coefficient lists and any matcher-
 // private disk structures, with no hand-stitching by the caller.
