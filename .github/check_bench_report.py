@@ -12,7 +12,16 @@ import json
 import subprocess
 import sys
 
-NUMERIC_FIELDS = ("io_accesses", "cpu_ms", "mem_mb", "pairs", "loops", "seed")
+NUMERIC_FIELDS = (
+    "io_accesses",
+    "cpu_ms",
+    "cpu_ms_min",
+    "cpu_ms_stddev",
+    "mem_mb",
+    "pairs",
+    "loops",
+    "seed",
+)
 STRING_FIELDS = ("section", "x", "algorithm")
 
 

@@ -1,6 +1,7 @@
 #include "driver/driver.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,7 +23,9 @@ T Median(std::vector<T> values) {
 
 /// Per-field median: with repeat=1 this is the sample itself; the
 /// deterministic fields (io, pairs, loops) are identical across
-/// repeats anyway, so the median only smooths cpu_ms and mem_mb.
+/// repeats anyway, so the median only smooths cpu_ms and mem_mb. The
+/// cpu_ms spread (min + population stddev over the repeat samples)
+/// rides along so report artifacts carry reproducible perf deltas.
 ReportRow Aggregate(const std::string& figure, const FigureSection& section,
                     const FigureCell& cell, const std::string& algorithm,
                     const std::vector<RunStats>& samples) {
@@ -47,6 +50,13 @@ ReportRow Aggregate(const std::string& figure, const FigureSection& section,
   row.cpu_ms = Median(cpu);
   row.mem_mb = Median(mem);
   row.pairs = Median(pairs);
+  row.cpu_ms_min = *std::min_element(cpu.begin(), cpu.end());
+  double mean = 0.0;
+  for (double c : cpu) mean += c;
+  mean /= static_cast<double>(cpu.size());
+  double var = 0.0;
+  for (double c : cpu) var += (c - mean) * (c - mean);
+  row.cpu_ms_stddev = std::sqrt(var / static_cast<double>(cpu.size()));
   return row;
 }
 

@@ -1,8 +1,8 @@
-// Micro figures: registry entries that isolate the two optimized inner
-// loops (the TA reverse top-1 probe loop and BBS/UpdateSkyline) so the
-// perf trajectory of PR 3's hot-path work stays CI-visible in
-// BENCH_<scale>.json — the regression gate diffs their deterministic
-// columns (probes-as-io, restarts-as-loops, node reads) across commits
+// Micro figures: registry entries that isolate the optimized inner
+// loops (the TA reverse top-1 probe loop, BBS/UpdateSkyline, the SIMD
+// scoring kernel and the buffer pool) so the perf trajectory of the
+// hot-path work stays CI-visible in BENCH_<scale>.json — the
+// regression gate diffs their deterministic columns across commits
 // alongside the paper figures.
 //
 // Unlike the paper figures these cells do not run a whole matcher; the
@@ -13,15 +13,34 @@
 //     restarts, pairs = completed Best() assignments.
 //   micro_bbs — io = counted R-tree node reads (paged store), loops =
 //     RemoveAndUpdate rounds, pairs = skyline members drained.
+//   micro_simd_score — old (scalar) vs new (vector) block-scoring
+//     kernel on one member block; io = scored (member, function)
+//     pairs, pairs = best-candidate updates, loops = functions. The
+//     deterministic columns are backend-independent (the kernels are
+//     bit-identical), which the regression gate cross-checks between
+//     the SIMD and scalar CI builds.
+//   micro_buffer_pool — old (list + unordered_map) vs new (sharded
+//     open-addressing + intrusive LRU) pool on one seeded fetch
+//     sequence per hit/miss mix; io = physical reads + writes, pairs =
+//     fetches, loops = buffer hits — identical for both
+//     implementations, so only cpu_ms separates the rows.
 #include <algorithm>
+#include <cstring>
+#include <list>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "driver/figure_registry.h"
+#include "fairmatch/common/rng.h"
+#include "fairmatch/common/simd.h"
 #include "fairmatch/common/timer.h"
 #include "fairmatch/engine/exec_context.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/skyline/bbs.h"
+#include "fairmatch/storage/buffer_pool.h"
+#include "fairmatch/storage/disk_manager.h"
 #include "fairmatch/topk/function_lists.h"
 #include "fairmatch/topk/reverse_top1.h"
 
@@ -96,6 +115,251 @@ RunStats RunMicroBbs(const AssignmentProblem& problem,
   return stats;
 }
 
+// The SB-alt scoring inner loop in isolation: one member block scored
+// against every function's effective-coefficient vector, tracking each
+// member's best candidate with the engine's tie rule. The "scalar" row
+// is the old kernel — the member-major (row per member) loop SB-alt
+// ran before the SoA rewrite, which neither the compiler nor hardware
+// can vectorize across members; the "simd" row is the new dim-major
+// block kernel (common/simd.h, whatever backend this binary compiled
+// in — the scalar fallback in a FAIRMATCH_SIMD=OFF build). Scores are
+// bit-identical (same per-member ascending-dimension accumulation), so
+// the deterministic columns (pairs = best updates) double as a
+// cross-backend parity check the report gate diffs between the SIMD
+// and scalar CI builds.
+RunStats RunMicroSimdScore(const AssignmentProblem& problem,
+                           bool block_kernel) {
+  Timer timer;
+  RunStats stats;
+  stats.algorithm = block_kernel ? "simd" : "scalar";
+  const int dims = problem.dims;
+  const int members =
+      static_cast<int>(std::min<size_t>(256, problem.objects.size()));
+  // Both layouts of the same block: rows for the old kernel, dim-major
+  // columns for the new one.
+  std::vector<float> rows(static_cast<size_t>(members) * dims);
+  std::vector<float> cols(static_cast<size_t>(dims) * members);
+  for (int j = 0; j < members; ++j) {
+    for (int d = 0; d < dims; ++d) {
+      const float v = problem.objects[j].point[d];
+      rows[static_cast<size_t>(j) * dims + d] = v;
+      cols[static_cast<size_t>(d) * members + j] = v;
+    }
+  }
+  std::vector<double> weights(dims);
+  std::vector<double> scores(members);
+  std::vector<FunctionId> best_f(members, kInvalidFunction);
+  std::vector<double> best_s(members, 0.0);
+  for (const PrefFunction& f : problem.functions) {
+    stats.loops++;
+    for (int d = 0; d < dims; ++d) weights[d] = f.eff(d);
+    if (block_kernel) {
+      simd::ScoreColumns(cols.data(), members, dims, weights.data(),
+                         members, scores.data());
+    } else {
+      for (int j = 0; j < members; ++j) {
+        const float* pt = &rows[static_cast<size_t>(j) * dims];
+        double s = 0.0;
+        for (int d = 0; d < dims; ++d) s += weights[d] * pt[d];
+        scores[j] = s;
+      }
+    }
+    stats.io_accesses += members;
+    for (int j = 0; j < members; ++j) {
+      if (best_f[j] == kInvalidFunction || scores[j] > best_s[j] ||
+          (scores[j] == best_s[j] && f.id < best_f[j])) {
+        best_f[j] = f.id;
+        best_s[j] = scores[j];
+        stats.pairs++;
+      }
+    }
+  }
+  stats.cpu_ms = timer.ElapsedMs();
+  stats.peak_memory_bytes =
+      (rows.size() + cols.size()) * sizeof(float) +
+      members * (sizeof(double) * 2 + sizeof(FunctionId));
+  return stats;
+}
+
+// The seed's list + unordered_map LRU pool, kept verbatim as the
+// microbench baseline so the report keeps measuring the fetch-hit cost
+// the sharded open-addressing pool replaced. Same counted semantics:
+// identical page_reads/page_writes/buffer_hits on any access sequence.
+class ListMapLruPool {
+ public:
+  ListMapLruPool(DiskManager* disk, size_t capacity, PerfCounters* counters)
+      : disk_(disk), capacity_(capacity), counters_(counters) {}
+
+  std::byte* Fetch(PageId pid) {
+    counters_->logical_reads++;
+    auto it = frames_.find(pid);
+    if (it != frames_.end()) {
+      counters_->buffer_hits++;
+      Frame& frame = it->second;
+      if (frame.in_lru) {
+        lru_.erase(frame.lru_pos);
+        frame.in_lru = false;
+      }
+      frame.pin_count++;
+      return frame.data->bytes;
+    }
+    counters_->page_reads++;
+    Frame frame;
+    frame.data = std::make_unique<PageData>();
+    disk_->ReadPage(pid, frame.data->bytes);
+    frame.pin_count = 1;
+    auto [ins, ok] = frames_.emplace(pid, std::move(frame));
+    (void)ok;
+    EvictIfNeeded();
+    return ins->second.data->bytes;
+  }
+
+  void Unpin(PageId pid, bool dirty) {
+    Frame& frame = frames_.at(pid);
+    frame.pin_count--;
+    if (dirty) frame.dirty = true;
+    if (frame.pin_count == 0) {
+      frame.lru_pos = lru_.insert(lru_.end(), pid);
+      frame.in_lru = true;
+      EvictIfNeeded();
+    }
+  }
+
+ private:
+  struct Frame {
+    std::unique_ptr<PageData> data;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void EvictIfNeeded() {
+    while (frames_.size() > capacity_ && !lru_.empty()) {
+      PageId victim = lru_.front();
+      lru_.pop_front();
+      auto it = frames_.find(victim);
+      it->second.in_lru = false;
+      if (it->second.dirty) {
+        counters_->page_writes++;
+        disk_->WritePage(victim, it->second.data->bytes);
+      }
+      frames_.erase(it);
+    }
+  }
+
+  DiskManager* disk_;
+  size_t capacity_;
+  PerfCounters* counters_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;
+};
+
+// One seeded fetch sequence (uniform page picks, every seventh access
+// a dirty write) against a pool sized for the given hit mix. Both pool
+// implementations replay the identical sequence on an identical disk,
+// so every deterministic column matches and cpu_ms isolates the frame
+// table + LRU overhead.
+RunStats RunMicroBufferPool(bool sharded, double capacity_fraction) {
+  constexpr int kPages = 256;
+  const int accesses = Scaled(400000, 2000);
+  const size_t capacity =
+      static_cast<size_t>(kPages * capacity_fraction + 0.5);
+
+  DiskManager disk;
+  PerfCounters counters;
+  std::vector<PageId> pids;
+  pids.reserve(kPages);
+  for (int i = 0; i < kPages; ++i) pids.push_back(disk.AllocatePage());
+
+  RunStats stats;
+  stats.algorithm = sharded ? "sharded" : "list-map";
+  Rng rng(4242);
+  Timer timer;
+  if (sharded) {
+    BufferPool pool(&disk, capacity, &counters);
+    for (int i = 0; i < accesses; ++i) {
+      PageHandle h = pool.FetchPage(pids[rng.UniformInt(0, kPages - 1)]);
+      if (i % 7 == 0) h.mutable_bytes()[0] = std::byte{1};
+    }
+  } else {
+    ListMapLruPool pool(&disk, capacity, &counters);
+    for (int i = 0; i < accesses; ++i) {
+      const PageId pid = pids[rng.UniformInt(0, kPages - 1)];
+      std::byte* bytes = pool.Fetch(pid);
+      const bool dirty = i % 7 == 0;
+      if (dirty) bytes[0] = std::byte{1};
+      pool.Unpin(pid, dirty);
+    }
+  }
+  stats.cpu_ms = timer.ElapsedMs();
+  stats.io_accesses = counters.page_reads + counters.page_writes;
+  stats.pairs = static_cast<uint64_t>(accesses);
+  stats.loops = counters.buffer_hits;
+  stats.peak_memory_bytes = capacity * sizeof(PageData);
+  return stats;
+}
+
+std::vector<FigureSection> MicroSimdScore() {
+  FigureSection s;
+  s.title = "Micro: SIMD member-block scoring";
+  s.subtitle =
+      std::string("SoA member block (<=256) x |F| functions, backend=") +
+      simd::BackendName() +
+      ", x = D (io = scored pairs, pairs = best updates)";
+  for (int dims : {3, 4, 5}) {
+    BenchConfig config;
+    config.dims = dims;
+    config.num_functions = 20000;
+    config.num_objects = 1000;
+    config = Scale(config);
+    std::vector<MeasuredRun> runs;
+    for (bool block_kernel : {false, true}) {
+      MeasuredRun run;
+      run.algorithm = block_kernel ? "simd" : "scalar";
+      run.runner = [block_kernel](const AssignmentProblem& problem,
+                                  const BenchConfig&) {
+        return RunMicroSimdScore(problem, block_kernel);
+      };
+      runs.push_back(std::move(run));
+    }
+    s.cells.push_back(
+        {std::to_string(dims), config, nullptr, std::move(runs)});
+  }
+  return {s};
+}
+
+std::vector<FigureSection> MicroBufferPool() {
+  FigureSection s;
+  s.title = "Micro: buffer pool fetch/unpin";
+  s.subtitle =
+      "256-page disk, seeded uniform fetches, x = hit mix "
+      "(io = physical reads+writes, loops = hits)";
+  // Hit mixes: all-resident (pure hit cost), half-sized buffer
+  // (eviction churn), and the paper's 0% buffer (every fetch a miss).
+  const std::pair<const char*, double> mixes[] = {
+      {"hit", 1.0}, {"mix", 0.5}, {"miss", 0.0}};
+  for (const auto& [label, fraction] : mixes) {
+    BenchConfig config;
+    config.num_functions = 10;
+    config.num_objects = 100;
+    config = Scale(config);
+    std::vector<MeasuredRun> runs;
+    for (bool sharded : {false, true}) {
+      MeasuredRun run;
+      run.algorithm = sharded ? "sharded" : "list-map";
+      const double f = fraction;
+      run.runner = [sharded, f](const AssignmentProblem&,
+                                const BenchConfig&) {
+        return RunMicroBufferPool(sharded, f);
+      };
+      runs.push_back(std::move(run));
+    }
+    s.cells.push_back({label, config, nullptr, std::move(runs)});
+  }
+  return {s};
+}
+
 std::vector<FigureSection> MicroReverseTop1() {
   FigureSection s;
   s.title = "Micro: TA reverse top-1 drain";
@@ -160,6 +424,21 @@ void RegisterMicroFigures(FigureRegistry* registry) {
       "Microbench: BBS/UpdateSkyline drain (arena-backed plists)";
   bbs.sections = MicroBbs;
   registry->Register(std::move(bbs));
+
+  FigureSpec score;
+  score.name = "micro_simd_score";
+  score.description =
+      "Microbench: member-block scoring kernel, scalar vs SIMD";
+  score.sections = MicroSimdScore;
+  registry->Register(std::move(score));
+
+  FigureSpec pool;
+  pool.name = "micro_buffer_pool";
+  pool.description =
+      "Microbench: buffer pool fetch/unpin, list+map LRU vs sharded "
+      "open addressing";
+  pool.sections = MicroBufferPool;
+  registry->Register(std::move(pool));
 }
 
 }  // namespace fairmatch::bench

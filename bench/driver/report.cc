@@ -61,6 +61,8 @@ void WriteJsonRow(std::ostream& out, const ReportRow& row,
       << ", \"algorithm\": " << JsonString(row.algorithm)
       << ", \"io_accesses\": " << row.io_accesses
       << ", \"cpu_ms\": " << Fixed(row.cpu_ms, 3)
+      << ", \"cpu_ms_min\": " << Fixed(row.cpu_ms_min, 3)
+      << ", \"cpu_ms_stddev\": " << Fixed(row.cpu_ms_stddev, 3)
       << ", \"mem_mb\": " << Fixed(row.mem_mb, 4)
       << ", \"pairs\": " << row.pairs << ", \"loops\": " << row.loops
       << ", \"seed\": " << row.seed << "}";
@@ -102,8 +104,8 @@ void TextSink::AddRow(const ReportRow& row) {
 }
 
 const char* CsvHeader() {
-  return "figure,section,x,algorithm,io_accesses,cpu_ms,mem_mb,pairs,loops,"
-         "seed,scale,git_sha";
+  return "figure,section,x,algorithm,io_accesses,cpu_ms,cpu_ms_min,"
+         "cpu_ms_stddev,mem_mb,pairs,loops,seed,scale,git_sha";
 }
 
 CsvSink::CsvSink(std::ostream* out, ReportMeta meta)
@@ -115,9 +117,10 @@ void CsvSink::AddRow(const ReportRow& row) {
   *out_ << CsvField(row.figure) << ',' << CsvField(row.section) << ','
         << CsvField(row.x) << ',' << CsvField(row.algorithm) << ','
         << row.io_accesses << ',' << Fixed(row.cpu_ms, 3) << ','
-        << Fixed(row.mem_mb, 4) << ',' << row.pairs << ',' << row.loops
-        << ',' << row.seed << ',' << CsvField(meta_.scale) << ','
-        << CsvField(meta_.git_sha) << "\n";
+        << Fixed(row.cpu_ms_min, 3) << ',' << Fixed(row.cpu_ms_stddev, 3)
+        << ',' << Fixed(row.mem_mb, 4) << ',' << row.pairs << ','
+        << row.loops << ',' << row.seed << ',' << CsvField(meta_.scale)
+        << ',' << CsvField(meta_.git_sha) << "\n";
 }
 
 JsonSink::JsonSink(std::ostream* out, ReportMeta meta)

@@ -28,7 +28,10 @@ struct ReportMeta {
 std::string GitSha();
 
 /// One aggregated measurement: median-of-repeat stats for one
-/// (figure, section, x, algorithm) cell.
+/// (figure, section, x, algorithm) cell. cpu_ms is the median; the min
+/// and population stddev over the repeat samples ride along so perf
+/// deltas quoted from a report are reproducible from its artifacts
+/// (with repeat=1 min equals the median and the stddev is 0).
 struct ReportRow {
   std::string figure;
   std::string section;  // empty for single-section figures
@@ -36,6 +39,8 @@ struct ReportRow {
   std::string algorithm;
   int64_t io_accesses = 0;
   double cpu_ms = 0.0;
+  double cpu_ms_min = 0.0;
+  double cpu_ms_stddev = 0.0;
   double mem_mb = 0.0;
   uint64_t pairs = 0;
   int64_t loops = 0;

@@ -51,7 +51,7 @@ bool SBAssignment::RefreshCandidate(ObjectState* state, const Point& point) {
 }
 
 size_t SBAssignment::StateBytes() const {
-  size_t bytes = 0;
+  size_t bytes = state_pool_.memory_bytes();
   for (const auto& [oid, state] : states_) {
     bytes += 48 + state.ta.memory_bytes();
   }
@@ -119,7 +119,14 @@ AssignResult SBAssignment::Run() {
     members.reserve(sky.size());
     sky.ForEach([&](int, const SkylineObject& m) {
       if (functions_exhausted) return;
-      ObjectState& state = states_[m.id];
+      auto it = states_.find(m.id);
+      if (it == states_.end()) {
+        // New skyline member: its TA state reuses a retired object's
+        // recycled buffers when the pool has one.
+        it = states_.emplace(m.id, ObjectState{state_pool_.Acquire()})
+                 .first;
+      }
+      ObjectState& state = it->second;
       if (!RefreshCandidate(&state, m.point)) {
         functions_exhausted = true;
         return;
@@ -159,7 +166,11 @@ AssignResult SBAssignment::Run() {
       }
       if (--ocap[pair.oid] == 0) {
         odel.push_back(pair.oid);
-        states_.erase(pair.oid);
+        auto sit = states_.find(pair.oid);
+        if (sit != states_.end()) {
+          state_pool_.Release(std::move(sit->second.ta));
+          states_.erase(sit);
+        }
         known_members.erase(pair.oid);
       }
     }

@@ -91,6 +91,9 @@ class SBAssignment {
   // search so its exhaustion check is O(1) instead of an |F| scan.
   int64_t remaining_fns_ = 0;
   std::unordered_map<ObjectId, ObjectState> states_;
+  // Recycles retired objects' TA buffers into newly arriving skyline
+  // members' states across loops (no re-growth through the allocator).
+  ReverseTop1StatePool state_pool_;
 };
 
 }  // namespace fairmatch

@@ -8,6 +8,7 @@
 
 #include "fairmatch/assign/best_pair.h"
 #include "fairmatch/common/check.h"
+#include "fairmatch/common/simd.h"
 #include "fairmatch/common/stats.h"
 #include "fairmatch/common/timer.h"
 #include "fairmatch/engine/exec_context.h"
@@ -72,6 +73,10 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
   // instead of O(members); `by_dim[d]` orders members by descending
   // o[d] so the fetch-worthiness probe (whose dominant term is
   // coef * o[d]) hits its early-exit on the likeliest member first.
+  // `act_cols` mirrors the active set as dim-major float columns
+  // (column j = member active[j]) so the per-fetch scoring loop runs
+  // through the vectorized block kernel (common/simd.h); `act_scores`
+  // receives one block of scores per fetched function.
   std::vector<ObjectId> mb_oid;
   std::vector<float> mb_pts;     // members x dims
   std::vector<int> mb_order;     // members x dims, o desc per member
@@ -79,6 +84,8 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
   std::vector<double> mb_best_s;
   std::vector<uint8_t> mb_done;
   std::vector<int> active;
+  std::vector<float> act_cols;   // dims x m_count, column j = active[j]
+  std::vector<double> act_scores;
   std::vector<std::vector<int>> by_dim(dims);
   // Generation-stamped seen set: cleared by bumping `gen`, not O(|F|).
   std::vector<uint32_t> seen_gen(num_fns, 0);
@@ -124,6 +131,14 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
     mb_done.assign(m_count, 0);
     active.resize(m_count);
     std::iota(active.begin(), active.end(), 0);
+    act_cols.resize(static_cast<size_t>(dims) * m_count);
+    for (int d = 0; d < dims; ++d) {
+      float* col = &act_cols[static_cast<size_t>(d) * m_count];
+      for (int j = 0; j < m_count; ++j) {
+        col[j] = mb_pts[static_cast<size_t>(j) * dims + d];
+      }
+    }
+    act_scores.resize(m_count);
     for (int d = 0; d < dims; ++d) {
       std::vector<int>& order = by_dim[d];
       order.resize(m_count);
@@ -185,12 +200,17 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
             }
           }
           if (!worth_fetching) continue;
-          // Random accesses for the remaining coefficients.
+          // Random accesses for the remaining coefficients, then one
+          // vectorized scoring pass over the active member columns
+          // (per member: eff[k] * o[k] accumulated in ascending k, the
+          // exact scalar sequence).
           store->FetchEff(fid, d, page[r].coef, eff.data());
-          for (int m : active) {
-            const float* pt = &mb_pts[static_cast<size_t>(m) * dims];
-            double s = 0.0;
-            for (int k = 0; k < dims; ++k) s += eff[k] * pt[k];
+          const int act_n = static_cast<int>(active.size());
+          simd::ScoreColumns(act_cols.data(), m_count, dims, eff.data(),
+                             act_n, act_scores.data());
+          for (int j = 0; j < act_n; ++j) {
+            const int m = active[j];
+            const double s = act_scores[j];
             if (mb_best_f[m] == kInvalidFunction || s > mb_best_s[m] ||
                 (s == mb_best_s[m] && fid < mb_best_f[m])) {
               mb_best_f[m] = fid;
@@ -215,6 +235,12 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
               undone--;
               active[i] = active.back();
               active.pop_back();
+              // Mirror the swap-remove into the column block.
+              const size_t last = active.size();
+              for (int d2 = 0; d2 < dims; ++d2) {
+                float* col = &act_cols[static_cast<size_t>(d2) * m_count];
+                col[i] = col[last];
+              }
               continue;
             }
           }

@@ -1,0 +1,283 @@
+// Portable vector kernels for the column-major (SoA) hot loops.
+//
+// Two kernels cover both vectorized inner loops: linear scoring of a
+// block of member columns (SB-alt's batch search) and first-dominator
+// search over a block of skyline columns (SkylineSet::FindDominator).
+// Both operate on dim-major float columns: `cols[d * stride + j]` is
+// coordinate d of column j, so one vector load touches consecutive
+// columns of one dimension.
+//
+// Backend selection is at compile time: AVX2 when the target enables
+// it, else SSE2 (any x86-64), else NEON (aarch64), else the scalar
+// reference. -DFAIRMATCH_SIMD=OFF (CMake) defines
+// FAIRMATCH_SIMD_DISABLED and forces the scalar reference everywhere.
+//
+// Every backend is bit-identical to the scalar reference, which is
+// what lets the bench regression gate compare SIMD and scalar builds
+// row by row:
+//  * scoring lanes accumulate per column in ascending-dimension order
+//    with separate IEEE mul and add (no FMA contraction, no horizontal
+//    reduction), exactly the scalar sequence;
+//  * dominance tests are float comparisons, which carry no rounding at
+//    all.
+// tests/perf_util_test.cc checks both kernels against the references
+// on randomized blocks, and the FAIRMATCH_SIMD=OFF CI leg re-runs the
+// full suite and smoke sweep on the scalar build.
+#ifndef FAIRMATCH_COMMON_SIMD_H_
+#define FAIRMATCH_COMMON_SIMD_H_
+
+#include <cstddef>
+
+#if !defined(FAIRMATCH_SIMD_DISABLED) && defined(__AVX2__)
+#define FAIRMATCH_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(FAIRMATCH_SIMD_DISABLED) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__))
+#define FAIRMATCH_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif !defined(FAIRMATCH_SIMD_DISABLED) && defined(__ARM_NEON)
+#define FAIRMATCH_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define FAIRMATCH_SIMD_SCALAR 1
+#endif
+
+namespace fairmatch::simd {
+
+/// Active backend, for diagnostics and bench row labels.
+inline const char* BackendName() {
+#if defined(FAIRMATCH_SIMD_AVX2)
+  return "avx2";
+#elif defined(FAIRMATCH_SIMD_SSE2)
+  return "sse2";
+#elif defined(FAIRMATCH_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// True when a vector backend is compiled in (bench labeling).
+inline constexpr bool kVectorized =
+#if defined(FAIRMATCH_SIMD_SCALAR)
+    false;
+#else
+    true;
+#endif
+
+// ---------------------------------------------------------------------
+// Kernel 1 — block scoring: out[j] = sum_d weights[d] * cols[d*stride+j]
+// ---------------------------------------------------------------------
+
+/// Scalar reference. Per column the products are accumulated in
+/// ascending-dimension order; every backend reproduces this sequence
+/// lane-for-lane.
+inline void ScoreColumnsScalar(const float* cols, size_t stride, int dims,
+                               const double* weights, int count,
+                               double* out) {
+  for (int j = 0; j < count; ++j) out[j] = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const float* col = cols + static_cast<size_t>(d) * stride;
+    const double w = weights[d];
+    for (int j = 0; j < count; ++j) {
+      out[j] += w * static_cast<double>(col[j]);
+    }
+  }
+}
+
+/// Vector backends tile the columns into register blocks (a few
+/// vectors of accumulators held across the whole dimension loop), so
+/// the per-dimension pass touches memory once per column block instead
+/// of re-loading the accumulator array for every dimension. Each lane
+/// still accumulates its column's products in ascending-dimension
+/// order with separate mul + add — bit-identical to the reference.
+inline void ScoreColumns(const float* cols, size_t stride, int dims,
+                         const double* weights, int count, double* out) {
+#if defined(FAIRMATCH_SIMD_AVX2)
+  int j = 0;
+  for (; j + 16 <= count; j += 16) {
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    for (int d = 0; d < dims; ++d) {
+      const float* col = cols + static_cast<size_t>(d) * stride + j;
+      const __m256d w = _mm256_set1_pd(weights[d]);
+      a0 = _mm256_add_pd(
+          a0, _mm256_mul_pd(w, _mm256_cvtps_pd(_mm_loadu_ps(col))));
+      a1 = _mm256_add_pd(
+          a1, _mm256_mul_pd(w, _mm256_cvtps_pd(_mm_loadu_ps(col + 4))));
+      a2 = _mm256_add_pd(
+          a2, _mm256_mul_pd(w, _mm256_cvtps_pd(_mm_loadu_ps(col + 8))));
+      a3 = _mm256_add_pd(
+          a3, _mm256_mul_pd(w, _mm256_cvtps_pd(_mm_loadu_ps(col + 12))));
+    }
+    _mm256_storeu_pd(out + j, a0);
+    _mm256_storeu_pd(out + j + 4, a1);
+    _mm256_storeu_pd(out + j + 8, a2);
+    _mm256_storeu_pd(out + j + 12, a3);
+  }
+  if (j < count) {
+    ScoreColumnsScalar(cols + j, stride, dims, weights, count - j,
+                       out + j);
+  }
+#elif defined(FAIRMATCH_SIMD_SSE2)
+  const auto load2 = [](const float* p) {
+    return _mm_cvtps_pd(_mm_castsi128_ps(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p))));
+  };
+  int j = 0;
+  for (; j + 8 <= count; j += 8) {
+    __m128d a0 = _mm_setzero_pd();
+    __m128d a1 = _mm_setzero_pd();
+    __m128d a2 = _mm_setzero_pd();
+    __m128d a3 = _mm_setzero_pd();
+    for (int d = 0; d < dims; ++d) {
+      const float* col = cols + static_cast<size_t>(d) * stride + j;
+      const __m128d w = _mm_set1_pd(weights[d]);
+      a0 = _mm_add_pd(a0, _mm_mul_pd(w, load2(col)));
+      a1 = _mm_add_pd(a1, _mm_mul_pd(w, load2(col + 2)));
+      a2 = _mm_add_pd(a2, _mm_mul_pd(w, load2(col + 4)));
+      a3 = _mm_add_pd(a3, _mm_mul_pd(w, load2(col + 6)));
+    }
+    _mm_storeu_pd(out + j, a0);
+    _mm_storeu_pd(out + j + 2, a1);
+    _mm_storeu_pd(out + j + 4, a2);
+    _mm_storeu_pd(out + j + 6, a3);
+  }
+  if (j < count) {
+    ScoreColumnsScalar(cols + j, stride, dims, weights, count - j,
+                       out + j);
+  }
+#elif defined(FAIRMATCH_SIMD_NEON)
+  int j = 0;
+  for (; j + 8 <= count; j += 8) {
+    float64x2_t a0 = vdupq_n_f64(0.0);
+    float64x2_t a1 = vdupq_n_f64(0.0);
+    float64x2_t a2 = vdupq_n_f64(0.0);
+    float64x2_t a3 = vdupq_n_f64(0.0);
+    for (int d = 0; d < dims; ++d) {
+      const float* col = cols + static_cast<size_t>(d) * stride + j;
+      const float64x2_t w = vdupq_n_f64(weights[d]);
+      a0 = vaddq_f64(a0, vmulq_f64(w, vcvt_f64_f32(vld1_f32(col))));
+      a1 = vaddq_f64(a1, vmulq_f64(w, vcvt_f64_f32(vld1_f32(col + 2))));
+      a2 = vaddq_f64(a2, vmulq_f64(w, vcvt_f64_f32(vld1_f32(col + 4))));
+      a3 = vaddq_f64(a3, vmulq_f64(w, vcvt_f64_f32(vld1_f32(col + 6))));
+    }
+    vst1q_f64(out + j, a0);
+    vst1q_f64(out + j + 2, a1);
+    vst1q_f64(out + j + 4, a2);
+    vst1q_f64(out + j + 6, a3);
+  }
+  if (j < count) {
+    ScoreColumnsScalar(cols + j, stride, dims, weights, count - j,
+                       out + j);
+  }
+#else
+  ScoreColumnsScalar(cols, stride, dims, weights, count, out);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Kernel 2 — first dominator: smallest j in [0, count) whose column is
+// >= corner in every dimension and > in at least one; -1 if none.
+// ---------------------------------------------------------------------
+
+/// Scalar reference (Point::Dominates over one column).
+inline int FirstDominatorScalar(const float* cols, size_t stride, int dims,
+                                const float* corner, int count) {
+  for (int j = 0; j < count; ++j) {
+    bool ge = true;
+    bool gt = false;
+    for (int d = 0; d < dims; ++d) {
+      const float v = cols[static_cast<size_t>(d) * stride + j];
+      if (v < corner[d]) {
+        ge = false;
+        break;
+      }
+      if (v > corner[d]) gt = true;
+    }
+    if (ge && gt) return j;
+  }
+  return -1;
+}
+
+inline int FirstDominator(const float* cols, size_t stride, int dims,
+                          const float* corner, int count) {
+#if defined(FAIRMATCH_SIMD_AVX2)
+  int j = 0;
+  for (; j + 8 <= count; j += 8) {
+    __m256 ge = _mm256_castsi256_ps(_mm256_set1_epi32(-1));
+    __m256 gt = _mm256_setzero_ps();
+    for (int d = 0; d < dims; ++d) {
+      const __m256 v =
+          _mm256_loadu_ps(cols + static_cast<size_t>(d) * stride + j);
+      const __m256 c = _mm256_set1_ps(corner[d]);
+      ge = _mm256_and_ps(ge, _mm256_cmp_ps(v, c, _CMP_GE_OQ));
+      gt = _mm256_or_ps(gt, _mm256_cmp_ps(v, c, _CMP_GT_OQ));
+    }
+    const int mask = _mm256_movemask_ps(_mm256_and_ps(ge, gt));
+    if (mask != 0) return j + __builtin_ctz(mask);
+  }
+  if (j < count) {
+    const int tail =
+        FirstDominatorScalar(cols + j, stride, dims, corner, count - j);
+    if (tail >= 0) return j + tail;
+  }
+  return -1;
+#elif defined(FAIRMATCH_SIMD_SSE2)
+  int j = 0;
+  for (; j + 4 <= count; j += 4) {
+    __m128 ge = _mm_castsi128_ps(_mm_set1_epi32(-1));
+    __m128 gt = _mm_setzero_ps();
+    for (int d = 0; d < dims; ++d) {
+      const __m128 v =
+          _mm_loadu_ps(cols + static_cast<size_t>(d) * stride + j);
+      const __m128 c = _mm_set1_ps(corner[d]);
+      ge = _mm_and_ps(ge, _mm_cmpge_ps(v, c));
+      gt = _mm_or_ps(gt, _mm_cmpgt_ps(v, c));
+    }
+    const int mask = _mm_movemask_ps(_mm_and_ps(ge, gt));
+    if (mask != 0) return j + __builtin_ctz(mask);
+  }
+  if (j < count) {
+    const int tail =
+        FirstDominatorScalar(cols + j, stride, dims, corner, count - j);
+    if (tail >= 0) return j + tail;
+  }
+  return -1;
+#elif defined(FAIRMATCH_SIMD_NEON)
+  int j = 0;
+  for (; j + 4 <= count; j += 4) {
+    uint32x4_t ge = vdupq_n_u32(0xFFFFFFFFu);
+    uint32x4_t gt = vdupq_n_u32(0);
+    for (int d = 0; d < dims; ++d) {
+      const float32x4_t v =
+          vld1q_f32(cols + static_cast<size_t>(d) * stride + j);
+      const float32x4_t c = vdupq_n_f32(corner[d]);
+      ge = vandq_u32(ge, vcgeq_f32(v, c));
+      gt = vorrq_u32(gt, vcgtq_f32(v, c));
+    }
+    const uint32x4_t hit = vandq_u32(ge, gt);
+    if (vmaxvq_u32(hit) != 0) {
+      uint32_t lanes[4];
+      vst1q_u32(lanes, hit);
+      for (int lane = 0; lane < 4; ++lane) {
+        if (lanes[lane] != 0) return j + lane;
+      }
+    }
+  }
+  if (j < count) {
+    const int tail =
+        FirstDominatorScalar(cols + j, stride, dims, corner, count - j);
+    if (tail >= 0) return j + tail;
+  }
+  return -1;
+#else
+  return FirstDominatorScalar(cols, stride, dims, corner, count);
+#endif
+}
+
+}  // namespace fairmatch::simd
+
+#endif  // FAIRMATCH_COMMON_SIMD_H_

@@ -6,14 +6,44 @@
 
 namespace fairmatch {
 
-void SkylineManager::ParkOrPush(Heap* heap, uint32_t handle) {
-  const SkyEntry& e = arena_.entry(handle);
-  int dominator = sky_.FindDominator(e.mbr.best_corner(), e.key);
-  if (dominator >= 0) {
-    Park(dominator, handle);
-  } else {
-    heap->push(HeapItem{e.key, e.id, e.is_node, handle});
+void SkylineManager::ParkOrPushBatch(Heap* heap) {
+  const int count = static_cast<int>(batch_handles_.size());
+  if (count == 0) return;
+  // Build the probes only after every handle is allocated: Alloc may
+  // grow the arena, which would invalidate earlier entry references.
+  batch_probes_.clear();
+  for (uint32_t h : batch_handles_) {
+    const SkyEntry& e = arena_.entry(h);
+    batch_probes_.push_back(DominatorProbe{&e.mbr.best_corner(), e.key});
   }
+  batch_out_.resize(count);
+  sky_.FindDominatorBatch(batch_probes_.data(), count, batch_out_.data());
+  for (int i = 0; i < count; ++i) {
+    const uint32_t handle = batch_handles_[i];
+    if (batch_out_[i] >= 0) {
+      Park(batch_out_[i], handle);
+    } else {
+      const SkyEntry& e = arena_.entry(handle);
+      heap->push(HeapItem{e.key, e.id, e.is_node, handle});
+    }
+  }
+  batch_handles_.clear();
+}
+
+void SkylineManager::ExpandInto(Heap* heap, const NodeView& node) {
+  batch_handles_.clear();
+  if (node.is_leaf()) {
+    for (int i = 0; i < node.count(); ++i) {
+      batch_handles_.push_back(arena_.Alloc(
+          SkyEntry::ForObject(node.leaf_point(i), node.child(i))));
+    }
+  } else {
+    for (int i = 0; i < node.count(); ++i) {
+      batch_handles_.push_back(arena_.Alloc(
+          SkyEntry::ForNode(node.entry_mbr(i), node.child(i))));
+    }
+  }
+  ParkOrPushBatch(heap);
 }
 
 void SkylineManager::ProcessHeap(Heap* heap) {
@@ -37,18 +67,7 @@ void SkylineManager::ProcessHeap(Heap* heap) {
       NodeHandle h = tree_->ReadNode(item.id);
       nodes_read_++;
       if (log_reads_) read_log_.push_back(item.id);
-      NodeView node = h.view();
-      if (node.is_leaf()) {
-        for (int i = 0; i < node.count(); ++i) {
-          ParkOrPush(heap, arena_.Alloc(SkyEntry::ForObject(
-                               node.leaf_point(i), node.child(i))));
-        }
-      } else {
-        for (int i = 0; i < node.count(); ++i) {
-          ParkOrPush(heap, arena_.Alloc(SkyEntry::ForNode(
-                               node.entry_mbr(i), node.child(i))));
-        }
-      }
+      ExpandInto(heap, h.view());
     } else {
       const Point point = e.point();  // copy: Add may grow structures
       arena_.Free(item.handle);
@@ -66,18 +85,7 @@ void SkylineManager::ComputeInitial() {
   NodeHandle h = tree_->ReadNode(tree_->root());
   nodes_read_++;
   if (log_reads_) read_log_.push_back(tree_->root());
-  NodeView node = h.view();
-  if (node.is_leaf()) {
-    for (int i = 0; i < node.count(); ++i) {
-      ParkOrPush(&heap, arena_.Alloc(SkyEntry::ForObject(
-                            node.leaf_point(i), node.child(i))));
-    }
-  } else {
-    for (int i = 0; i < node.count(); ++i) {
-      ParkOrPush(&heap, arena_.Alloc(SkyEntry::ForNode(node.entry_mbr(i),
-                                                       node.child(i))));
-    }
-  }
+  ExpandInto(&heap, h.view());
   h.Release();
   ProcessHeap(&heap);
 }

@@ -85,9 +85,16 @@ class SkylineManager {
   /// expanding nodes and promoting non-dominated objects.
   void ProcessHeap(Heap* heap);
 
-  /// Routes the arena entry behind `handle` to a dominator's plist or
-  /// pushes it onto the heap.
-  void ParkOrPush(Heap* heap, uint32_t handle);
+  /// Routes every arena entry in `batch_handles_` to a dominator's
+  /// plist or onto the heap: one multi-probe dominator call for all
+  /// entries (same probe order as per-entry FindDominator calls, which
+  /// probing alone never invalidates — it adds no skyline members),
+  /// then the same routing.
+  void ParkOrPushBatch(Heap* heap);
+
+  /// Allocates arena entries for every child of `node` into
+  /// `batch_handles_` and routes them via ParkOrPushBatch.
+  void ExpandInto(Heap* heap, const NodeView& node);
 
   /// Prepends `handle` to slot's intrusive plist chain.
   void Park(int slot, uint32_t handle) {
@@ -110,6 +117,10 @@ class SkylineManager {
   // empty). Indexed in lockstep with SkylineSet slots.
   std::vector<uint32_t> plist_head_;
   std::vector<uint32_t> pending_;  // RemoveAndUpdate scratch
+  // Multi-probe scratch (ParkOrPushBatch), hoisted across expansions.
+  std::vector<uint32_t> batch_handles_;
+  std::vector<DominatorProbe> batch_probes_;
+  std::vector<int> batch_out_;
   int64_t nodes_read_ = 0;
   bool log_reads_ = false;
   std::vector<PageId> read_log_;

@@ -20,6 +20,10 @@ void DeltaSkyManager::ComputeInitial() {
   // The root entry's key is irrelevant: it is alone on the heap, and an
   // empty MBR is never reported dominated.
   bool root = true;
+  // Per-expansion scratch for the multi-probe dominator call.
+  std::vector<SkyEntry> children;
+  std::vector<DominatorProbe> probes;
+  std::vector<int> dominated;
   while (!heap.empty()) {
     peak_heap_bytes_ =
         std::max(peak_heap_bytes_, heap.size() * sizeof(SkyEntry));
@@ -33,15 +37,27 @@ void DeltaSkyManager::ComputeInitial() {
       NodeHandle h = tree_->ReadNode(e.id);
       nodes_read_++;
       NodeView node = h.view();
+      // All child corners of the expanded node in one probe batch
+      // (pushing never adds members, so batching matches per-child
+      // probes); survivors enter the heap in child order, as before.
+      children.clear();
+      probes.clear();
       for (int i = 0; i < node.count(); ++i) {
-        SkyEntry child = node.is_leaf()
-                             ? SkyEntry::ForObject(node.leaf_point(i),
-                                                   node.child(i))
-                             : SkyEntry::ForNode(node.entry_mbr(i),
-                                                 node.child(i));
-        if (sky_.FindDominator(child.mbr.best_corner(), child.key) < 0) {
-          heap.push(child);
-        }
+        children.push_back(node.is_leaf()
+                               ? SkyEntry::ForObject(node.leaf_point(i),
+                                                     node.child(i))
+                               : SkyEntry::ForNode(node.entry_mbr(i),
+                                                   node.child(i)));
+      }
+      for (const SkyEntry& child : children) {
+        probes.push_back(DominatorProbe{&child.mbr.best_corner(), child.key});
+      }
+      dominated.resize(children.size());
+      sky_.FindDominatorBatch(probes.data(),
+                              static_cast<int>(children.size()),
+                              dominated.data());
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (dominated[i] < 0) heap.push(children[i]);
       }
     } else {
       sky_.Add(e.point(), e.id);

@@ -19,17 +19,38 @@ MemSkyline::MemSkyline(const std::vector<Point>& points) {
     if (sums[a] != sums[b]) return sums[a] > sums[b];
     return a < b;
   });
+  std::vector<SkyEntry> entries;
+  entries.reserve(points.size());
   for (int id : order) {
-    Park(SkyEntry::ForObject(points[id], id));
+    entries.push_back(SkyEntry::ForObject(points[id], id));
   }
+  ParkAll(entries);
 }
 
-void MemSkyline::Park(const SkyEntry& e) {
-  int dominator = sky_.FindDominator(e.mbr.best_corner(), e.key);
-  if (dominator >= 0) {
-    sky_.at(dominator).plist.push_back(e);
-  } else {
-    sky_.Add(e.point(), e.id);
+void MemSkyline::ParkAll(const std::vector<SkyEntry>& entries) {
+  // Multi-probe parking: dominated prefixes are probed in one batch;
+  // the first undominated entry becomes a member (which can dominate
+  // later entries, so probing resumes against the updated skyline) —
+  // the exact probe-Add interleaving of per-entry Park calls.
+  const int n = static_cast<int>(entries.size());
+  std::vector<DominatorProbe> probes;
+  probes.reserve(n);
+  for (const SkyEntry& e : entries) {
+    probes.push_back(DominatorProbe{&e.mbr.best_corner(), e.key});
+  }
+  std::vector<int> dominator(n);
+  int i = 0;
+  while (i < n) {
+    const int done =
+        sky_.FindDominatorPrefix(&probes[i], n - i, &dominator[i]);
+    for (int j = i; j < i + done; ++j) {
+      if (dominator[j] >= 0) {
+        sky_.at(dominator[j]).plist.push_back(entries[j]);
+      } else {
+        sky_.Add(entries[j].point(), entries[j].id);
+      }
+    }
+    i += done;
   }
 }
 
@@ -51,10 +72,14 @@ void MemSkyline::Remove(int id) {
     if (a.key != b.key) return a.key > b.key;
     return a.id < b.id;
   });
-  for (const SkyEntry& e : pending) {
-    if (removed_[e.id]) continue;
-    Park(e);
-  }
+  // Drop already-removed ids up front (removed_ is fixed for the whole
+  // drain, so prefiltering matches the per-entry check).
+  pending.erase(std::remove_if(pending.begin(), pending.end(),
+                               [&](const SkyEntry& e) {
+                                 return removed_[e.id] != 0;
+                               }),
+                pending.end());
+  ParkAll(pending);
 }
 
 std::vector<int> MemSkyline::Members() const {

@@ -32,7 +32,10 @@ class MemSkyline {
   size_t memory_bytes() const { return sky_.memory_bytes(); }
 
  private:
-  void Park(const SkyEntry& e);
+  /// Parks every entry in order through batched dominator probes;
+  /// undominated entries become members mid-stream (each probe either
+  /// parks the entry under its dominator's plist or adds it).
+  void ParkAll(const std::vector<SkyEntry>& entries);
 
   SkylineSet sky_;
   std::vector<uint8_t> removed_;

@@ -1,8 +1,56 @@
 #include "fairmatch/skyline/skyline_set.h"
 
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
 #include "fairmatch/common/check.h"
+#include "fairmatch/common/simd.h"
 
 namespace fairmatch {
+
+namespace {
+
+/// The original map key: ascending (-sum, slot) == the probe scan
+/// order. Kept as an explicit pair so tie semantics (including signed
+/// zeros) stay exactly std::map's.
+inline std::pair<double, int> RankKey(double sum, int slot) {
+  return std::make_pair(-sum, slot);
+}
+
+}  // namespace
+
+void SkylineSet::GrowCoords(int needed) {
+  if (needed <= coord_cap_) return;
+  int new_cap = coord_cap_ == 0 ? 16 : coord_cap_;
+  while (new_cap < needed) new_cap *= 2;
+  std::vector<float> grown(static_cast<size_t>(dims_) * new_cap);
+  if (live_count_ > 0) {
+    for (int d = 0; d < dims_; ++d) {
+      std::memcpy(grown.data() + static_cast<size_t>(d) * new_cap,
+                  rank_coords_.data() + static_cast<size_t>(d) * coord_cap_,
+                  sizeof(float) * live_count_);
+    }
+  }
+  rank_coords_ = std::move(grown);
+  coord_cap_ = new_cap;
+}
+
+int SkylineSet::RankOf(double sum, int slot) const {
+  const auto key = RankKey(sum, slot);
+  int lo = 0;
+  int hi = live_count_;
+  while (lo < hi) {
+    const int mid = (lo + hi) / 2;
+    if (RankKey(rank_sum_[mid], rank_slot_[mid]) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  FAIRMATCH_DCHECK(lo < live_count_ && rank_slot_[lo] == slot);
+  return lo;
+}
 
 int SkylineSet::Add(const Point& p, ObjectId id) {
   FAIRMATCH_CHECK(by_id_.count(id) == 0);
@@ -20,8 +68,38 @@ int SkylineSet::Add(const Point& p, ObjectId id) {
   member.sum = p.Sum();
   member.live = true;
   member.plist.clear();
-  order_.emplace(std::make_pair(-member.sum, slot), slot);
   by_id_.emplace(id, slot);
+
+  if (dims_ == 0) dims_ = p.dims();
+  FAIRMATCH_DCHECK(p.dims() == dims_);
+  GrowCoords(live_count_ + 1);
+
+  // Rank insertion position: first rank whose key is not less than the
+  // new member's (-sum, slot).
+  const auto key = RankKey(member.sum, slot);
+  int pos = 0;
+  {
+    int lo = 0;
+    int hi = live_count_;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (RankKey(rank_sum_[mid], rank_slot_[mid]) < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pos = lo;
+  }
+  rank_sum_.insert(rank_sum_.begin() + pos, member.sum);
+  rank_slot_.insert(rank_slot_.begin() + pos, slot);
+  for (int d = 0; d < dims_; ++d) {
+    float* row = &rank_coords_[static_cast<size_t>(d) * coord_cap_];
+    std::memmove(row + pos + 1, row + pos,
+                 sizeof(float) * (live_count_ - pos));
+    row[pos] = p[d];
+  }
+  live_count_++;
   return slot;
 }
 
@@ -30,7 +108,17 @@ void SkylineSet::Remove(ObjectId id) {
   FAIRMATCH_CHECK(it != by_id_.end());
   int slot = it->second;
   SkylineObject& member = slots_[slot];
-  order_.erase(std::make_pair(-member.sum, slot));
+
+  const int pos = RankOf(member.sum, slot);
+  rank_sum_.erase(rank_sum_.begin() + pos);
+  rank_slot_.erase(rank_slot_.begin() + pos);
+  for (int d = 0; d < dims_; ++d) {
+    float* row = &rank_coords_[static_cast<size_t>(d) * coord_cap_];
+    std::memmove(row + pos, row + pos + 1,
+                 sizeof(float) * (live_count_ - pos - 1));
+  }
+  live_count_--;
+
   by_id_.erase(it);
   member.live = false;
   member.plist.clear();
@@ -44,34 +132,59 @@ int SkylineSet::SlotOf(ObjectId id) const {
   return it == by_id_.end() ? -1 : it->second;
 }
 
-int SkylineSet::FindDominator(const Point& corner, double corner_sum) {
+int SkylineSet::ProbeOrdered(const Point& corner, double corner_sum) {
   if (last_pruner_ >= 0 && slots_[last_pruner_].live &&
       slots_[last_pruner_].point.Dominates(corner)) {
     return last_pruner_;
   }
-  // A strict dominator has a strictly larger coordinate sum, so only the
-  // prefix of the descending-sum order needs scanning.
-  for (const auto& [key, slot] : order_) {
-    double sum = -key.first;
-    if (sum <= corner_sum) break;
-    if (slots_[slot].point.Dominates(corner)) {
-      last_pruner_ = slot;
-      return slot;
-    }
+  // A strict dominator has a strictly larger coordinate sum, so only
+  // the prefix of the descending-sum rank order can prune. The prefix
+  // limit is a binary search; the scan is the SoA block kernel.
+  const int limit = static_cast<int>(
+      std::lower_bound(rank_sum_.begin(), rank_sum_.begin() + live_count_,
+                       corner_sum, [](double a, double b) { return a > b; }) -
+      rank_sum_.begin());
+  if (limit == 0) return -1;
+  float c[kMaxDims];
+  for (int d = 0; d < dims_; ++d) c[d] = corner[d];
+  const int hit = simd::FirstDominator(rank_coords_.data(), coord_cap_,
+                                       dims_, c, limit);
+  if (hit < 0) return -1;
+  last_pruner_ = rank_slot_[hit];
+  return last_pruner_;
+}
+
+int SkylineSet::FindDominator(const Point& corner, double corner_sum) {
+  return ProbeOrdered(corner, corner_sum);
+}
+
+void SkylineSet::FindDominatorBatch(const DominatorProbe* probes, int count,
+                                    int* out) {
+  for (int i = 0; i < count; ++i) {
+    out[i] = ProbeOrdered(*probes[i].corner, probes[i].sum);
   }
-  return -1;
+}
+
+int SkylineSet::FindDominatorPrefix(const DominatorProbe* probes, int count,
+                                    int* out) {
+  for (int i = 0; i < count; ++i) {
+    out[i] = ProbeOrdered(*probes[i].corner, probes[i].sum);
+    if (out[i] < 0) return i + 1;
+  }
+  return count;
 }
 
 std::vector<int> SkylineSet::LiveSlots() const {
-  std::vector<int> live;
-  live.reserve(order_.size());
-  for (const auto& [key, slot] : order_) live.push_back(slot);
-  return live;
+  return std::vector<int>(rank_slot_.begin(),
+                          rank_slot_.begin() + live_count_);
 }
 
 size_t SkylineSet::memory_bytes() const {
   size_t bytes = slots_.capacity() * sizeof(SkylineObject) +
-                 order_.size() * 48 + by_id_.size() * 24;
+                 rank_sum_.capacity() * sizeof(double) +
+                 rank_slot_.capacity() * sizeof(int) +
+                 rank_coords_.capacity() * sizeof(float) +
+                 by_id_.size() * 24;
   for (const SkylineObject& member : slots_) {
     bytes += member.plist.capacity() * sizeof(SkyEntry);
   }

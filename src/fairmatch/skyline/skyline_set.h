@@ -1,13 +1,20 @@
 // Container for the current skyline with fast dominance queries.
 //
-// Members are kept indexed by descending coordinate sum, which allows
-// dominance probes to stop early: a strict dominator of a point must
-// have a strictly larger sum. A "last successful pruner" cache
-// accelerates the common case of spatially clustered probes.
+// Members are kept in a dense rank order of descending coordinate sum,
+// which allows dominance probes to stop early: a strict dominator of a
+// point must have a strictly larger sum. The prunable prefix is found
+// by binary search and scanned as dim-major (SoA) float columns by a
+// batched dominance kernel (common/simd.h) that tests a whole vector
+// of members per step. A "last successful pruner" cache accelerates
+// the common case of spatially clustered probes.
+//
+// The scan order — descending sum, ties by ascending slot, cache
+// checked first — and the cache update sequence are exactly the
+// original map-based implementation's, so every caller sees the same
+// dominator slots in the same order.
 #ifndef FAIRMATCH_SKYLINE_SKYLINE_SET_H_
 #define FAIRMATCH_SKYLINE_SKYLINE_SET_H_
 
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +31,13 @@ struct SkylineObject {
   /// Pruned list (Section 5.2): entries dominated by this member and by
   /// no earlier-checked live member.
   std::vector<SkyEntry> plist;
+};
+
+/// One dominance probe of a batch: a corner and its coordinate sum
+/// (`sum` must equal corner->Sum(); callers cache it as the BBS key).
+struct DominatorProbe {
+  const Point* corner;
+  double sum;
 };
 
 /// The set of current skyline members.
@@ -48,13 +62,29 @@ class SkylineSet {
   /// scan), or -1. `corner_sum` must equal corner.Sum().
   int FindDominator(const Point& corner, double corner_sum);
 
+  /// Multi-probe entry point: out[i] = FindDominator(*probes[i]) for
+  /// every probe, in order (pruner-cache effects included). Equivalent
+  /// to `count` consecutive single probes; the skyline must not change
+  /// between them — callers batch the children of one expanded node or
+  /// one parked chain, which only park or enqueue.
+  void FindDominatorBatch(const DominatorProbe* probes, int count,
+                          int* out);
+
+  /// Like FindDominatorBatch, but stops after the first probe that
+  /// finds no dominator (its out entry is -1). Returns the number of
+  /// probes executed. Callers that add the undominated point to the
+  /// skyline resume with the remaining probes, reproducing the exact
+  /// probe-Add interleaving of sequential FindDominator calls.
+  int FindDominatorPrefix(const DominatorProbe* probes, int count,
+                          int* out);
+
   size_t size() const { return by_id_.size(); }
 
-  /// Invokes fn(slot, member) for every live member.
+  /// Invokes fn(slot, member) for every live member (descending sum).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [key, slot] : order_) {
-      fn(slot, slots_[slot]);
+    for (int i = 0; i < live_count_; ++i) {
+      fn(rank_slot_[i], slots_[rank_slot_[i]]);
     }
   }
 
@@ -66,12 +96,31 @@ class SkylineSet {
   size_t memory_bytes() const;
 
  private:
+  /// One ordered sum-pruned scan (the FindDominator core).
+  int ProbeOrdered(const Point& corner, double corner_sum);
+
+  /// Rank position of the live member in `slot` (exact match on the
+  /// (-sum, slot) key).
+  int RankOf(double sum, int slot) const;
+
+  /// Grows the coordinate columns to hold at least `needed` members.
+  void GrowCoords(int needed);
+
   std::vector<SkylineObject> slots_;
   std::vector<int> free_slots_;
-  // (-sum, slot) -> slot: ascending on -sum = descending on sum.
-  std::map<std::pair<double, int>, int> order_;
   std::unordered_map<ObjectId, int> by_id_;
   int last_pruner_ = -1;
+
+  // Dense rank arrays, ascending (-sum, slot) — i.e. descending sum
+  // with ties on ascending slot, the probe scan order. rank_coords_ is
+  // dim-major: row d is the float coordinates of dimension d over rank
+  // positions, so the dominance kernel loads consecutive members.
+  int dims_ = 0;
+  int live_count_ = 0;
+  std::vector<double> rank_sum_;
+  std::vector<int> rank_slot_;
+  std::vector<float> rank_coords_;  // dims_ rows x coord_cap_ columns
+  int coord_cap_ = 0;
 };
 
 }  // namespace fairmatch

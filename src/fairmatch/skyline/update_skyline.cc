@@ -26,11 +26,12 @@ void SkylineManager::RemoveAndUpdate(const std::vector<ObjectId>& removed) {
 
   // Phase 2: re-park entries still dominated by a surviving member; the
   // rest fall in the union of the removed members' exclusive dominance
-  // regions and form the candidate set S_cand.
+  // regions and form the candidate set S_cand. All probes go through
+  // one multi-probe dominator call (parking and enqueueing never add
+  // members, so the batch matches per-entry probing).
   Heap candidates;
-  for (uint32_t h : pending_) {
-    ParkOrPush(&candidates, h);
-  }
+  batch_handles_.assign(pending_.begin(), pending_.end());
+  ParkOrPushBatch(&candidates);
 
   // Phase 3: resume BBS over S_cand (Algorithm 2's ResumeSkyline).
   ProcessHeap(&candidates);

@@ -1,5 +1,6 @@
 #include "fairmatch/storage/buffer_pool.h"
 
+#include <cstring>
 #include <utility>
 
 #include "fairmatch/common/check.h"
@@ -42,9 +43,9 @@ void PageHandle::Release() {
 
 std::byte* PageHandle::mutable_bytes() {
   FAIRMATCH_CHECK(pool_ != nullptr);
-  auto it = pool_->frames_.find(pid_);
-  FAIRMATCH_CHECK(it != pool_->frames_.end());
-  it->second.dirty = true;
+  const int32_t frame = pool_->Lookup(pid_);
+  FAIRMATCH_CHECK(frame != BufferPool::kNoFrame);
+  pool_->frames_[frame].dirty = true;
   return bytes_;
 }
 
@@ -58,62 +59,199 @@ BufferPool::~BufferPool() {
   // that care about persistence call FlushAll() explicitly.
 }
 
+// --- frame table (sharded open addressing) ---------------------------
+
+int32_t BufferPool::Lookup(PageId pid) {
+  Shard& shard = ShardFor(pid);
+  if (shard.buckets.empty()) return kNoFrame;
+  const size_t mask = shard.buckets.size() - 1;
+  size_t i = Hash(pid) & mask;
+  while (true) {
+    const int32_t frame = shard.buckets[i];
+    if (frame == kNoFrame) return kNoFrame;
+    if (frames_[frame].pid == pid) return frame;
+    i = (i + 1) & mask;
+  }
+}
+
+void BufferPool::Insert(PageId pid, int32_t frame) {
+  Shard& shard = ShardFor(pid);
+  // Grow at ~0.7 load (amortized; the only allocating path besides
+  // frame-arena high-water growth).
+  if (shard.buckets.empty() ||
+      (shard.used + 1) * 10 >= shard.buckets.size() * 7) {
+    const size_t new_size =
+        shard.buckets.empty() ? 16 : shard.buckets.size() * 2;
+    std::vector<int32_t> old = std::move(shard.buckets);
+    shard.buckets.assign(new_size, kNoFrame);
+    const size_t mask = new_size - 1;
+    for (int32_t f : old) {
+      if (f == kNoFrame) continue;
+      size_t i = Hash(frames_[f].pid) & mask;
+      while (shard.buckets[i] != kNoFrame) i = (i + 1) & mask;
+      shard.buckets[i] = f;
+    }
+  }
+  const size_t mask = shard.buckets.size() - 1;
+  size_t i = Hash(pid) & mask;
+  while (shard.buckets[i] != kNoFrame) {
+    FAIRMATCH_DCHECK(frames_[shard.buckets[i]].pid != pid);
+    i = (i + 1) & mask;
+  }
+  shard.buckets[i] = frame;
+  shard.used++;
+}
+
+void BufferPool::Erase(PageId pid) {
+  Shard& shard = ShardFor(pid);
+  FAIRMATCH_CHECK(!shard.buckets.empty());
+  const size_t mask = shard.buckets.size() - 1;
+  size_t i = Hash(pid) & mask;
+  while (true) {
+    const int32_t frame = shard.buckets[i];
+    FAIRMATCH_CHECK(frame != kNoFrame);
+    if (frames_[frame].pid == pid) break;
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion: refill the hole with any later entry of
+  // the probe chain whose ideal bucket is not cyclically inside
+  // (hole, entry].
+  size_t hole = i;
+  size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    const int32_t frame = shard.buckets[j];
+    if (frame == kNoFrame) break;
+    const size_t ideal = Hash(frames_[frame].pid) & mask;
+    const bool movable = hole <= j ? (ideal <= hole || ideal > j)
+                                   : (ideal <= hole && ideal > j);
+    if (movable) {
+      shard.buckets[hole] = frame;
+      hole = j;
+    }
+  }
+  shard.buckets[hole] = kNoFrame;
+  shard.used--;
+}
+
+// --- frame arena and LRU ---------------------------------------------
+
+int32_t BufferPool::AllocFrame(PageId pid) {
+  int32_t frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    frame = static_cast<int32_t>(frames_.size());
+    frames_.emplace_back();
+    frames_.back().data = std::make_unique<PageData>();
+  }
+  Frame& f = frames_[frame];
+  f.pid = pid;
+  f.pin_count = 0;
+  f.dirty = false;
+  f.in_lru = false;
+  f.lru_prev = kNoFrame;
+  f.lru_next = kNoFrame;
+  resident_++;
+  return frame;
+}
+
+void BufferPool::FreeFrame(int32_t frame) {
+  frames_[frame].pid = kInvalidPage;
+  free_frames_.push_back(frame);
+  resident_--;
+}
+
+void BufferPool::LruPushBack(int32_t frame) {
+  Frame& f = frames_[frame];
+  f.lru_prev = lru_tail_;
+  f.lru_next = kNoFrame;
+  f.in_lru = true;
+  if (lru_tail_ != kNoFrame) {
+    frames_[lru_tail_].lru_next = frame;
+  } else {
+    lru_head_ = frame;
+  }
+  lru_tail_ = frame;
+}
+
+void BufferPool::LruRemove(int32_t frame) {
+  Frame& f = frames_[frame];
+  if (f.lru_prev != kNoFrame) {
+    frames_[f.lru_prev].lru_next = f.lru_next;
+  } else {
+    lru_head_ = f.lru_next;
+  }
+  if (f.lru_next != kNoFrame) {
+    frames_[f.lru_next].lru_prev = f.lru_prev;
+  } else {
+    lru_tail_ = f.lru_prev;
+  }
+  f.lru_prev = kNoFrame;
+  f.lru_next = kNoFrame;
+  f.in_lru = false;
+}
+
+// --- pool operations -------------------------------------------------
+
 PageHandle BufferPool::FetchPage(PageId pid) {
   counters_->logical_reads++;
-  auto it = frames_.find(pid);
-  if (it != frames_.end()) {
+  int32_t frame = Lookup(pid);
+  if (frame != kNoFrame) {
     counters_->buffer_hits++;
-    Frame& frame = it->second;
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
-      frame.in_lru = false;
-    }
-    frame.pin_count++;
-    return PageHandle(this, pid, frame.data->bytes);
+    Frame& f = frames_[frame];
+    if (f.in_lru) LruRemove(frame);
+    f.pin_count++;
+    return PageHandle(this, pid, f.data->bytes);
   }
-  // Miss: physical read.
+  // Miss: physical read (before any eviction writeback, matching the
+  // counted access order of the original pool).
   counters_->page_reads++;
-  Frame frame;
-  frame.data = std::make_unique<PageData>();
-  disk_->ReadPage(pid, frame.data->bytes);
-  frame.pin_count = 1;
-  auto [ins, ok] = frames_.emplace(pid, std::move(frame));
-  FAIRMATCH_CHECK(ok);
+  frame = AllocFrame(pid);
+  Frame& f = frames_[frame];
+  disk_->ReadPage(pid, f.data->bytes);
+  f.pin_count = 1;
+  Insert(pid, frame);
   EvictIfNeeded();
-  return PageHandle(this, pid, ins->second.data->bytes);
+  return PageHandle(this, pid, f.data->bytes);
 }
 
 PageHandle BufferPool::NewPage() {
   PageId pid = disk_->AllocatePage();
-  Frame frame;
-  frame.data = std::make_unique<PageData>();
-  std::memset(frame.data->bytes, 0, kPageSize);
-  frame.pin_count = 1;
-  frame.dirty = true;
-  auto [ins, ok] = frames_.emplace(pid, std::move(frame));
-  FAIRMATCH_CHECK(ok);
+  const int32_t frame = AllocFrame(pid);
+  Frame& f = frames_[frame];
+  std::memset(f.data->bytes, 0, kPageSize);
+  f.pin_count = 1;
+  f.dirty = true;
+  Insert(pid, frame);
   EvictIfNeeded();
-  return PageHandle(this, pid, ins->second.data->bytes);
+  return PageHandle(this, pid, f.data->bytes);
 }
 
 void BufferPool::DeletePage(PageId pid) {
-  auto it = frames_.find(pid);
-  if (it != frames_.end()) {
-    FAIRMATCH_CHECK(it->second.pin_count == 0);
-    if (it->second.in_lru) lru_.erase(it->second.lru_pos);
-    frames_.erase(it);
+  const int32_t frame = Lookup(pid);
+  if (frame != kNoFrame) {
+    Frame& f = frames_[frame];
+    FAIRMATCH_CHECK(f.pin_count == 0);
+    if (f.in_lru) LruRemove(frame);
+    Erase(pid);
+    FreeFrame(frame);
   }
   disk_->FreePage(pid);
 }
 
 void BufferPool::FlushAll() {
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    FAIRMATCH_CHECK(it->second.pin_count == 0);
-    FlushFrame(it->first, it->second);
-    if (it->second.in_lru) lru_.erase(it->second.lru_pos);
-    it = frames_.erase(it);
+  for (int32_t frame = 0; frame < static_cast<int32_t>(frames_.size());
+       ++frame) {
+    Frame& f = frames_[frame];
+    if (f.pid == kInvalidPage) continue;
+    FAIRMATCH_CHECK(f.pin_count == 0);
+    FlushFrame(f);
+    if (f.in_lru) LruRemove(frame);
+    Erase(f.pid);
+    FreeFrame(frame);
   }
-  lru_.clear();
 }
 
 void BufferPool::set_capacity(size_t capacity_frames) {
@@ -122,36 +260,34 @@ void BufferPool::set_capacity(size_t capacity_frames) {
 }
 
 void BufferPool::Unpin(PageId pid, bool dirty) {
-  auto it = frames_.find(pid);
-  FAIRMATCH_CHECK(it != frames_.end());
-  Frame& frame = it->second;
-  FAIRMATCH_CHECK(frame.pin_count > 0);
-  frame.pin_count--;
-  if (dirty) frame.dirty = true;
-  if (frame.pin_count == 0) {
-    frame.lru_pos = lru_.insert(lru_.end(), pid);
-    frame.in_lru = true;
+  const int32_t frame = Lookup(pid);
+  FAIRMATCH_CHECK(frame != kNoFrame);
+  Frame& f = frames_[frame];
+  FAIRMATCH_CHECK(f.pin_count > 0);
+  f.pin_count--;
+  if (dirty) f.dirty = true;
+  if (f.pin_count == 0) {
+    LruPushBack(frame);
     EvictIfNeeded();
   }
 }
 
 void BufferPool::EvictIfNeeded() {
-  while (frames_.size() > capacity_ && !lru_.empty()) {
-    PageId victim = lru_.front();
-    lru_.pop_front();
-    auto it = frames_.find(victim);
-    FAIRMATCH_CHECK(it != frames_.end());
-    FAIRMATCH_CHECK(it->second.pin_count == 0);
-    it->second.in_lru = false;
-    FlushFrame(victim, it->second);
-    frames_.erase(it);
+  while (resident_ > capacity_ && lru_head_ != kNoFrame) {
+    const int32_t victim = lru_head_;
+    LruRemove(victim);
+    Frame& f = frames_[victim];
+    FAIRMATCH_CHECK(f.pin_count == 0);
+    FlushFrame(f);
+    Erase(f.pid);
+    FreeFrame(victim);
   }
 }
 
-void BufferPool::FlushFrame(PageId pid, Frame& frame) {
+void BufferPool::FlushFrame(Frame& frame) {
   if (frame.dirty) {
     counters_->page_writes++;
-    disk_->WritePage(pid, frame.data->bytes);
+    disk_->WritePage(frame.pid, frame.data->bytes);
     frame.dirty = false;
   }
 }

@@ -6,13 +6,20 @@
 // physical write. A capacity of zero frames models the paper's "0%
 // buffer" configuration: pages stay resident only while pinned and every
 // fetch is a miss.
+//
+// The frame table is a sharded open-addressing hash (linear probing,
+// backward-shift deletion) over a recycling frame arena, and the LRU is
+// an intrusive doubly-linked list threaded through the frames. Fetch,
+// pin and unpin are O(1) with no allocation on the steady-state path:
+// frame slots and their 4 KB page blocks are recycled through a
+// freelist, so eviction churn never touches the general allocator.
 #ifndef FAIRMATCH_STORAGE_BUFFER_POOL_H_
 #define FAIRMATCH_STORAGE_BUFFER_POOL_H_
 
 #include <cstddef>
-#include <list>
+#include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "fairmatch/common/stats.h"
 #include "fairmatch/common/types.h"
@@ -59,7 +66,9 @@ class PageHandle {
 /// DiskManager and PerfCounters it is wired to) belongs to exactly one
 /// execution lane; batch execution (engine/batch_runner.h) isolates
 /// lanes by giving each its own storage stack rather than locking here,
-/// which also keeps per-lane I/O counts deterministic.
+/// which also keeps per-lane I/O counts deterministic. (The shards
+/// below are a cache-footprint measure — smaller probe tables — not a
+/// locking domain.)
 class BufferPool {
  public:
   /// `capacity_frames` may be 0 (no caching). `counters` must outlive
@@ -93,30 +102,72 @@ class BufferPool {
   DiskManager* disk() { return disk_; }
 
   /// Number of frames currently resident (diagnostics/tests).
-  size_t resident_frames() const { return frames_.size(); }
+  size_t resident_frames() const { return resident_; }
 
  private:
   friend class PageHandle;
 
+  static constexpr int32_t kNoFrame = -1;
+  static constexpr int kShardBits = 3;
+  static constexpr int kNumShards = 1 << kShardBits;
+
   struct Frame {
-    std::unique_ptr<PageData> data;
-    int pin_count = 0;
+    PageId pid = kInvalidPage;  // kInvalidPage marks a free slot
+    int32_t pin_count = 0;
     bool dirty = false;
-    // Position in lru_ when pin_count == 0; lru_.end() otherwise.
-    std::list<PageId>::iterator lru_pos;
     bool in_lru = false;
+    int32_t lru_prev = kNoFrame;
+    int32_t lru_next = kNoFrame;
+    // Page bytes, stable across frame-arena growth; recycled with the
+    // slot so steady-state eviction/fetch churn never allocates.
+    std::unique_ptr<PageData> data;
   };
+
+  /// One open-addressing shard: power-of-two bucket array of frame
+  /// indices, linear probing, backward-shift deletion.
+  struct Shard {
+    std::vector<int32_t> buckets;  // kNoFrame = empty
+    size_t used = 0;
+  };
+
+  static uint64_t Hash(PageId pid) {
+    return static_cast<uint64_t>(static_cast<uint32_t>(pid)) *
+           0x9E3779B97F4A7C15ull;
+  }
+  Shard& ShardFor(PageId pid) {
+    return shards_[Hash(pid) >> (64 - kShardBits)];
+  }
+
+  /// Frame index of `pid`, or kNoFrame.
+  int32_t Lookup(PageId pid);
+  /// Maps `pid` to `frame` (must not be present). May grow the shard.
+  void Insert(PageId pid, int32_t frame);
+  /// Unmaps `pid` (must be present).
+  void Erase(PageId pid);
+
+  /// Takes a frame slot (recycled or fresh) with a ready data block.
+  int32_t AllocFrame(PageId pid);
+  /// Returns the slot (and its data block) to the freelist.
+  void FreeFrame(int32_t frame);
+
+  void LruPushBack(int32_t frame);
+  void LruRemove(int32_t frame);
 
   void Unpin(PageId pid, bool dirty);
   void EvictIfNeeded();
-  void FlushFrame(PageId pid, Frame& frame);
+  void FlushFrame(Frame& frame);
 
   DiskManager* disk_;
   size_t capacity_;
   PerfCounters* counters_;
-  std::unordered_map<PageId, Frame> frames_;
-  // Unpinned frames in LRU order (front = least recently used).
-  std::list<PageId> lru_;
+
+  std::vector<Frame> frames_;         // arena; slots recycled
+  std::vector<int32_t> free_frames_;  // freelist of arena slots
+  size_t resident_ = 0;
+  Shard shards_[kNumShards];
+  // Intrusive LRU over unpinned frames (head = least recently used).
+  int32_t lru_head_ = kNoFrame;
+  int32_t lru_tail_ = kNoFrame;
 };
 
 }  // namespace fairmatch

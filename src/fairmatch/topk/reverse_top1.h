@@ -141,7 +141,7 @@ class CandidateQueue {
 };
 
 /// Per-object resumable TA state. Owned by the caller (one per skyline
-/// object); opaque except for memory accounting.
+/// object); opaque except for memory accounting and recycling.
 class ReverseTop1State {
  public:
   ReverseTop1State() = default;
@@ -155,6 +155,15 @@ class ReverseTop1State {
            seen_bits_.capacity() * sizeof(uint64_t) +
            seen_gen_.capacity() * sizeof(uint8_t);
   }
+
+  /// Returns the state to "never searched" while keeping every buffer's
+  /// capacity, so a recycled state behaves exactly like a fresh one (the
+  /// next Best() call Reset()s and reassigns all contents) without
+  /// re-growing its vectors. The epoch seen-map generation deliberately
+  /// survives: stale marks from a previous owner all carry generations
+  /// <= gen_, so the bump in Reset() invalidates them, and the wipe on
+  /// 8-bit wrap-around is preserved.
+  void Recycle() { initialized = false; }
 
  private:
   friend class ReverseTop1;
@@ -188,6 +197,45 @@ class ReverseTop1State {
   double cached_threshold_ = 0.0;
   bool threshold_valid_ = false;
 
+};
+
+/// Arena of recycled ReverseTop1State buffers. SB churns one state per
+/// skyline object: objects leave when fully assigned and new skyline
+/// members appear every loop, so without recycling each arrival
+/// re-grows a queue, a seen map and the per-dim caches through the
+/// allocator. Releasing a retired object's state parks its buffers
+/// here; acquiring moves them to the next arrival. A recycled state is
+/// observably identical to a default-constructed one (see
+/// ReverseTop1State::Recycle), so search results are unchanged.
+class ReverseTop1StatePool {
+ public:
+  /// A state ready for first use: recycled buffers when available.
+  ReverseTop1State Acquire() {
+    if (free_.empty()) return ReverseTop1State();
+    ReverseTop1State state = std::move(free_.back());
+    free_.pop_back();
+    return state;
+  }
+
+  /// Parks a retired state's buffers for reuse.
+  void Release(ReverseTop1State&& state) {
+    state.Recycle();
+    free_.push_back(std::move(state));
+  }
+
+  /// Bytes parked in the freelist (memory-usage metric).
+  size_t memory_bytes() const {
+    size_t bytes = free_.capacity() * sizeof(ReverseTop1State);
+    for (const ReverseTop1State& s : free_) {
+      bytes += s.memory_bytes() - sizeof(ReverseTop1State);
+    }
+    return bytes;
+  }
+
+  size_t size() const { return free_.size(); }
+
+ private:
+  std::vector<ReverseTop1State> free_;
 };
 
 /// Reverse top-1 searcher over one function index.

@@ -88,7 +88,9 @@ TEST_F(BenchDriverTest, RegistryHasAllBuiltinFigures) {
       "fig16_zillow",
       "fig17_disk_functions",
       "micro_bbs",
+      "micro_buffer_pool",
       "micro_reverse_top1",
+      "micro_simd_score",
   };
   EXPECT_EQ(FigureRegistry::Global().Names(), expected);
   for (const std::string& name : expected) {
@@ -146,8 +148,8 @@ TEST_F(BenchDriverTest, CsvGolden) {
   ASSERT_EQ(lines.size(),
             1u + 3 * 3);  // header + 3 dims x {SB, UpdateSkyline, DeltaSky}
   EXPECT_EQ(lines[0],
-            "figure,section,x,algorithm,io_accesses,cpu_ms,mem_mb,pairs,"
-            "loops,seed,scale,git_sha");
+            "figure,section,x,algorithm,io_accesses,cpu_ms,cpu_ms_min,"
+            "cpu_ms_stddev,mem_mb,pairs,loops,seed,scale,git_sha");
   EXPECT_EQ(lines[0], CsvHeader());
 
   const std::set<std::string> algos = {"SB", "SB-UpdateSkyline",
@@ -155,16 +157,16 @@ TEST_F(BenchDriverTest, CsvGolden) {
   const std::set<std::string> xs = {"3", "4", "5"};
   for (size_t i = 1; i < lines.size(); ++i) {
     const std::vector<std::string> f = SplitFields(lines[i]);
-    ASSERT_EQ(f.size(), 12u) << lines[i];
+    ASSERT_EQ(f.size(), 14u) << lines[i];
     EXPECT_EQ(f[0], "fig08_optimizations");
     EXPECT_EQ(f[1], "");  // single-section figure
     EXPECT_EQ(xs.count(f[2]), 1u) << f[2];
     EXPECT_EQ(algos.count(f[3]), 1u) << f[3];
-    for (int n = 4; n <= 9; ++n) {
+    for (int n = 4; n <= 11; ++n) {
       EXPECT_TRUE(NonNegativeNumber(f[n])) << lines[i];
     }
-    EXPECT_EQ(f[10], "smoke");
-    EXPECT_EQ(f[11], "testsha");
+    EXPECT_EQ(f[12], "smoke");
+    EXPECT_EQ(f[13], "testsha");
   }
 }
 
@@ -183,9 +185,10 @@ TEST_F(BenchDriverTest, JsonSchema) {
   EXPECT_NE(doc.find("\"repeat\": 2"), std::string::npos);
   EXPECT_NE(doc.find("\"figures\": {"), std::string::npos);
   EXPECT_NE(doc.find("\"fig08_optimizations\": ["), std::string::npos);
-  for (const char* key : {"\"section\"", "\"x\"", "\"algorithm\"",
-                          "\"io_accesses\"", "\"cpu_ms\"", "\"mem_mb\"",
-                          "\"pairs\"", "\"loops\"", "\"seed\""}) {
+  for (const char* key :
+       {"\"section\"", "\"x\"", "\"algorithm\"", "\"io_accesses\"",
+        "\"cpu_ms\"", "\"cpu_ms_min\"", "\"cpu_ms_stddev\"", "\"mem_mb\"",
+        "\"pairs\"", "\"loops\"", "\"seed\""}) {
     EXPECT_NE(doc.find(key), std::string::npos) << key;
   }
   // One row object per measurement (plus the document and "figures"
@@ -196,6 +199,24 @@ TEST_F(BenchDriverTest, JsonSchema) {
             std::count(doc.begin(), doc.end(), '}'));
   EXPECT_EQ(doc.find("nan"), std::string::npos);
   EXPECT_EQ(doc.find(": -"), std::string::npos);
+}
+
+// The repeat-spread columns: cpu_ms_min is the fastest sample (never
+// above the median), the stddev is non-negative, and with repeat=1
+// both collapse (min == median, stddev == 0) so single-run reports
+// stay self-consistent.
+TEST_F(BenchDriverTest, RepeatRowsCarryMinAndStddev) {
+  const std::vector<ReportRow> once = RunFigure("fig08_optimizations", 1, {});
+  for (const ReportRow& row : once) {
+    EXPECT_EQ(row.cpu_ms_min, row.cpu_ms) << row.algorithm;
+    EXPECT_EQ(row.cpu_ms_stddev, 0.0) << row.algorithm;
+  }
+  const std::vector<ReportRow> thrice =
+      RunFigure("fig08_optimizations", 3, {});
+  for (const ReportRow& row : thrice) {
+    EXPECT_LE(row.cpu_ms_min, row.cpu_ms) << row.algorithm;
+    EXPECT_GE(row.cpu_ms_stddev, 0.0) << row.algorithm;
+  }
 }
 
 TEST_F(BenchDriverTest, RowsCarryDeterministicFieldsAcrossRepeats) {
@@ -279,10 +300,10 @@ TEST_F(BenchDriverTest, BatchFlagsPlumbThroughRunDriver) {
   std::set<std::string> xs;
   for (size_t i = 1; i < lines.size(); ++i) {
     const std::vector<std::string> f = SplitFields(lines[i]);
-    ASSERT_EQ(f.size(), 12u) << lines[i];
+    ASSERT_EQ(f.size(), 14u) << lines[i];
     EXPECT_EQ(f[0], "batch_throughput");
     xs.insert(f[2]);
-    for (int n = 4; n <= 9; ++n) {
+    for (int n = 4; n <= 11; ++n) {
       EXPECT_TRUE(NonNegativeNumber(f[n])) << lines[i];
     }
   }

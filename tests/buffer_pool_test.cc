@@ -1,0 +1,386 @@
+// Regression and differential tests for the buffer pool's accounting
+// under eviction churn: the dirty-evict/re-fetch cycle (a dirty frame
+// must be written back exactly once per eviction, and a re-fetch must
+// see the written-back bytes and cost exactly one physical read), the
+// pinned-overflow path at capacities 0, 1 and 2 (more pinned pages
+// than frames), and a randomized differential sweep against a
+// reference model of the documented LRU semantics. General pool/paged
+// file coverage lives in tests/storage_test.cc.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "fairmatch/common/rng.h"
+#include "fairmatch/storage/buffer_pool.h"
+#include "fairmatch/storage/disk_manager.h"
+
+namespace fairmatch {
+namespace {
+
+/// Writes an 8-byte stamp into a pinned page.
+void Stamp(PageHandle* h, uint64_t value) {
+  std::memcpy(h->mutable_bytes(), &value, sizeof(value));
+}
+
+/// Reads the 8-byte stamp of a pinned page.
+uint64_t ReadStamp(const PageHandle& h) {
+  uint64_t value = 0;
+  std::memcpy(&value, h.bytes(), sizeof(value));
+  return value;
+}
+
+/// Reads the 8-byte stamp directly from the simulated disk.
+uint64_t DiskStamp(const DiskManager& disk, PageId pid) {
+  std::byte buf[kPageSize];
+  disk.ReadPage(pid, buf);
+  uint64_t value = 0;
+  std::memcpy(&value, buf, sizeof(value));
+  return value;
+}
+
+// A dirty frame evicted under capacity pressure must complete its
+// writeback accounting (exactly one page_write, bytes durable on disk)
+// before any re-fetch of the same page, and the re-fetch must cost
+// exactly one page_read of the written-back content. Repeating the
+// cycle (re-dirty, evict again) counts one further write per eviction
+// — never zero, never two.
+TEST(BufferPoolTest, DirtyEvictThenRefetchAccountsExactly) {
+  for (size_t capacity : {1u, 2u}) {
+    SCOPED_TRACE(capacity);
+    DiskManager disk;
+    PerfCounters counters;
+    BufferPool pool(&disk, capacity, &counters);
+
+    // One page more than capacity, so fetching the others evicts A.
+    std::vector<PageId> pids;
+    for (size_t i = 0; i < capacity + 1; ++i) {
+      PageHandle h = pool.NewPage();
+      pids.push_back(h.page_id());
+    }
+    pool.FlushAll();
+    counters.Reset();
+    const PageId a = pids[0];
+
+    {
+      PageHandle h = pool.FetchPage(a);
+      Stamp(&h, 0xA1);
+    }
+    EXPECT_EQ(counters.page_reads, 1);
+    EXPECT_EQ(counters.page_writes, 0);  // dirty but resident
+
+    // Fill the buffer past capacity: A (LRU) is evicted dirty.
+    for (size_t i = 1; i < pids.size(); ++i) {
+      PageHandle h = pool.FetchPage(pids[i]);
+    }
+    EXPECT_EQ(counters.page_writes, 1);
+    EXPECT_EQ(DiskStamp(disk, a), 0xA1u);  // writeback completed
+
+    // Re-fetch after the dirty eviction: one physical read, the
+    // written-back bytes, and no further write for the now-clean frame.
+    {
+      PageHandle h = pool.FetchPage(a);
+      EXPECT_EQ(ReadStamp(h), 0xA1u);
+      Stamp(&h, 0xA2);  // dirty the frame again
+    }
+    EXPECT_EQ(counters.page_reads,
+              static_cast<int64_t>(pids.size()) + 1);
+    EXPECT_EQ(counters.page_writes, 1);
+
+    // Second dirty-evict cycle: exactly one more write.
+    for (size_t i = 1; i < pids.size(); ++i) {
+      PageHandle h = pool.FetchPage(pids[i]);
+    }
+    EXPECT_EQ(counters.page_writes, 2);
+    EXPECT_EQ(DiskStamp(disk, a), 0xA2u);
+  }
+}
+
+// More pinned pages than frames: every pinned frame stays valid above
+// capacity, and unpinning drains the overflow back to the capacity,
+// writing each dirty frame back exactly once.
+TEST(BufferPoolTest, PinnedOverflowAtCapacitiesZeroOneTwo) {
+  for (size_t capacity : {0u, 1u, 2u}) {
+    SCOPED_TRACE(capacity);
+    DiskManager disk;
+    PerfCounters counters;
+    BufferPool pool(&disk, capacity, &counters);
+
+    const size_t overflow = capacity + 3;
+    std::vector<PageId> pids;
+    for (size_t i = 0; i < overflow; ++i) {
+      PageHandle h = pool.NewPage();
+      pids.push_back(h.page_id());
+    }
+    pool.FlushAll();
+    counters.Reset();
+
+    // Pin all pages at once (a path of pinned pages beyond capacity).
+    std::vector<PageHandle> handles;
+    for (size_t i = 0; i < overflow; ++i) {
+      handles.push_back(pool.FetchPage(pids[i]));
+      Stamp(&handles.back(), 0xB0 + i);
+    }
+    EXPECT_EQ(pool.resident_frames(), overflow);
+    EXPECT_EQ(counters.page_reads, static_cast<int64_t>(overflow));
+    EXPECT_EQ(counters.page_writes, 0);  // nothing evictable yet
+    for (size_t i = 0; i < overflow; ++i) {
+      EXPECT_EQ(ReadStamp(handles[i]), 0xB0 + i) << i;  // all still valid
+    }
+
+    // Unpin one by one: overflow frames are evicted (dirty, so each
+    // eviction is one write) until the pool is back at capacity.
+    for (PageHandle& h : handles) h.Release();
+    handles.clear();
+    EXPECT_LE(pool.resident_frames(), capacity);
+    EXPECT_EQ(counters.page_writes,
+              static_cast<int64_t>(overflow - capacity));
+    for (size_t i = 0; i < overflow; ++i) {
+      EXPECT_EQ(DiskStamp(disk, pids[i]),
+                i < overflow - capacity
+                    ? 0xB0 + i  // evicted and written back
+                    : 0u)       // still buffered dirty
+          << i;
+    }
+
+    // Every page's content is intact, wherever it currently lives.
+    for (size_t i = 0; i < overflow; ++i) {
+      PageHandle h = pool.FetchPage(pids[i]);
+      EXPECT_EQ(ReadStamp(h), 0xB0 + i) << i;
+    }
+  }
+}
+
+// At zero capacity every dirty unpin is an immediate writeback.
+TEST(BufferPoolTest, ZeroCapacityWritesBackEveryDirtyUnpin) {
+  DiskManager disk;
+  PerfCounters counters;
+  BufferPool pool(&disk, 0, &counters);
+  PageId pid;
+  {
+    PageHandle h = pool.NewPage();
+    pid = h.page_id();
+  }
+  counters.Reset();
+  for (int i = 0; i < 4; ++i) {
+    PageHandle h = pool.FetchPage(pid);
+    Stamp(&h, 0xC0 + i);
+    h.Release();
+    EXPECT_EQ(counters.page_writes, i + 1);
+    EXPECT_EQ(DiskStamp(disk, pid), 0xC0 + static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(counters.page_reads, 4);
+  EXPECT_EQ(pool.resident_frames(), 0u);
+}
+
+/// Reference model of the documented pool semantics: global LRU over
+/// unpinned frames, pinned overflow tolerated, dirty evictions write
+/// back, capacity 0 caches nothing. Tracks the same counters and the
+/// 8-byte page stamps.
+class ModelPool {
+ public:
+  explicit ModelPool(size_t capacity) : capacity_(capacity) {}
+
+  void Fetch(PageId pid, bool write, uint64_t stamp) {
+    counters.logical_reads++;
+    auto it = frames_.find(pid);
+    if (it != frames_.end()) {
+      counters.buffer_hits++;
+      if (it->second.pin == 0) LruErase(pid);
+    } else {
+      counters.page_reads++;
+      frames_[pid] = Frame{disk_[pid], false, 0};
+      it = frames_.find(pid);
+    }
+    it->second.pin++;
+    if (write) {
+      it->second.stamp = stamp;
+      it->second.dirty = true;
+    }
+    Evict();
+  }
+
+  uint64_t StampOf(PageId pid) const { return frames_.at(pid).stamp; }
+
+  void Release(PageId pid) {
+    Frame& f = frames_.at(pid);
+    f.pin--;
+    if (f.pin == 0) {
+      lru_.push_back(pid);
+      Evict();
+    }
+  }
+
+  PageId New() {
+    PageId pid;
+    if (!free_.empty()) {
+      pid = free_.back();
+      free_.pop_back();
+    } else {
+      pid = next_pid_++;
+    }
+    disk_[pid] = 0;
+    frames_[pid] = Frame{0, true, 1};
+    Evict();
+    return pid;
+  }
+
+  void Delete(PageId pid) {
+    auto it = frames_.find(pid);
+    if (it != frames_.end()) {
+      if (it->second.pin == 0) LruErase(pid);
+      frames_.erase(it);
+    }
+    disk_.erase(pid);
+    free_.push_back(pid);
+  }
+
+  void FlushAll() {
+    for (auto& [pid, f] : frames_) {
+      if (f.dirty) {
+        counters.page_writes++;
+        disk_[pid] = f.stamp;
+      }
+    }
+    frames_.clear();
+    lru_.clear();
+  }
+
+  void SetCapacity(size_t capacity) {
+    capacity_ = capacity;
+    Evict();
+  }
+
+  bool Resident(PageId pid) const { return frames_.count(pid) > 0; }
+  size_t resident() const { return frames_.size(); }
+  int PinOf(PageId pid) const {
+    auto it = frames_.find(pid);
+    return it == frames_.end() ? 0 : it->second.pin;
+  }
+  uint64_t DiskStampOf(PageId pid) const { return disk_.at(pid); }
+  bool OnDisk(PageId pid) const { return disk_.count(pid) > 0; }
+
+  PerfCounters counters;
+
+ private:
+  struct Frame {
+    uint64_t stamp = 0;
+    bool dirty = false;
+    int pin = 0;
+  };
+
+  void LruErase(PageId pid) {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (*it == pid) {
+        lru_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void Evict() {
+    while (frames_.size() > capacity_ && !lru_.empty()) {
+      PageId victim = lru_.front();
+      lru_.pop_front();
+      Frame& f = frames_.at(victim);
+      if (f.dirty) {
+        counters.page_writes++;
+        disk_[victim] = f.stamp;
+      }
+      frames_.erase(victim);
+    }
+  }
+
+  size_t capacity_;
+  std::map<PageId, Frame> frames_;
+  std::deque<PageId> lru_;
+  std::map<PageId, uint64_t> disk_;
+  std::vector<PageId> free_;
+  PageId next_pid_ = 0;
+};
+
+// Randomized differential sweep: every operation's counters, residency
+// and page bytes must match the reference model exactly, across
+// capacity changes (including 0), pinned overflow, deletions and
+// flushes.
+TEST(BufferPoolTest, RandomizedOpsMatchReferenceModel) {
+  Rng rng(501);
+  DiskManager disk;
+  PerfCounters counters;
+  BufferPool pool(&disk, 2, &counters);
+  ModelPool model(2);
+
+  std::vector<PageId> pages;
+  std::vector<std::pair<PageId, PageHandle>> open;
+  uint64_t next_stamp = 1;
+
+  auto check = [&]() {
+    ASSERT_EQ(counters.logical_reads, model.counters.logical_reads);
+    ASSERT_EQ(counters.buffer_hits, model.counters.buffer_hits);
+    ASSERT_EQ(counters.page_reads, model.counters.page_reads);
+    ASSERT_EQ(counters.page_writes, model.counters.page_writes);
+    ASSERT_EQ(pool.resident_frames(), model.resident());
+  };
+
+  for (int op = 0; op < 20000; ++op) {
+    const int choice = static_cast<int>(rng.UniformInt(0, 99));
+    if (pages.size() < 4 || choice < 10) {
+      PageHandle h = pool.NewPage();
+      PageId pid = h.page_id();
+      ASSERT_EQ(model.New(), pid);  // same allocation order
+      pages.push_back(pid);
+      open.emplace_back(pid, std::move(h));
+    } else if (choice < 55) {
+      // Fetch (sometimes writing), hold the pin for a while.
+      PageId pid = pages[rng.UniformInt(0, pages.size() - 1)];
+      if (!model.OnDisk(pid)) continue;  // deleted id not yet recycled
+      const bool write = rng.UniformInt(0, 1) == 0;
+      const uint64_t stamp = write ? next_stamp++ : 0;
+      PageHandle h = pool.FetchPage(pid);
+      if (write) Stamp(&h, stamp);
+      model.Fetch(pid, write, stamp);
+      ASSERT_EQ(ReadStamp(h), model.StampOf(pid));
+      open.emplace_back(pid, std::move(h));
+    } else if (choice < 85 && !open.empty()) {
+      const size_t pick = rng.UniformInt(0, open.size() - 1);
+      PageId pid = open[pick].first;
+      open[pick].second.Release();
+      open.erase(open.begin() + pick);
+      model.Release(pid);
+    } else if (choice < 90) {
+      const size_t cap = rng.UniformInt(0, 4);
+      pool.set_capacity(cap);
+      model.SetCapacity(cap);
+    } else if (choice < 95 && !pages.empty()) {
+      PageId pid = pages[rng.UniformInt(0, pages.size() - 1)];
+      if (!model.OnDisk(pid) || model.PinOf(pid) > 0) continue;
+      pool.DeletePage(pid);
+      model.Delete(pid);
+      pages.erase(std::find(pages.begin(), pages.end(), pid));
+    } else if (open.empty()) {
+      pool.FlushAll();
+      model.FlushAll();
+    }
+    check();
+  }
+
+  // Drain and do a final durability comparison through the disk.
+  for (auto& [pid, handle] : open) {
+    handle.Release();
+    model.Release(pid);
+  }
+  open.clear();
+  pool.FlushAll();
+  model.FlushAll();
+  check();
+  for (PageId pid : pages) {
+    EXPECT_EQ(DiskStamp(disk, pid), model.DiskStampOf(pid)) << pid;
+  }
+}
+
+}  // namespace
+}  // namespace fairmatch

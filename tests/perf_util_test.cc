@@ -1,8 +1,11 @@
-// Unit tests for the hot-path utilities introduced by the perf PR: the
-// flat min-max heap behind the TA candidate queue and the SkyEntry
-// arena behind BBS/UpdateSkyline. Both are exercised with randomized
+// Unit tests for the hot-path utilities introduced by the perf PRs:
+// the flat min-max heap behind the TA candidate queue, the SkyEntry
+// arena behind BBS/UpdateSkyline, the portable SIMD kernels
+// (common/simd.h) and the SkylineSet dominance probes (single and
+// batched) they power. Everything is exercised with randomized
 // operation sequences against straightforward reference models; the CI
-// Debug job runs these under ASan/UBSan.
+// Debug job runs these under ASan/UBSan and the FAIRMATCH_SIMD=OFF leg
+// re-runs them on the scalar fallback.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -11,8 +14,10 @@
 
 #include "fairmatch/common/minmax_heap.h"
 #include "fairmatch/common/rng.h"
+#include "fairmatch/common/simd.h"
 #include "fairmatch/geom/point.h"
 #include "fairmatch/skyline/sky_arena.h"
+#include "fairmatch/skyline/skyline_set.h"
 #include "fairmatch/topk/reverse_top1.h"
 
 namespace fairmatch {
@@ -237,6 +242,214 @@ TEST(SkyEntryArenaTest, RandomChurnAgainstModel) {
   EXPECT_EQ(arena.high_water(), max_live);
   for (const auto& [h, id] : live) {
     ASSERT_EQ(arena.entry(h).id, id);
+  }
+}
+
+// --- SIMD kernels (common/simd.h) ------------------------------------
+
+// The dispatching score kernel must be bit-identical to the scalar
+// reference on arbitrary blocks (counts straddling every vector-width
+// remainder, negative weights, subnormal-free random coords).
+TEST(SimdKernelTest, ScoreColumnsMatchesScalarBitExactly) {
+  Rng rng(601);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int dims = 1 + static_cast<int>(rng.UniformInt(0, kMaxDims - 1));
+    const int count = static_cast<int>(rng.UniformInt(0, 37));
+    const size_t stride = count + rng.UniformInt(0, 5);
+    std::vector<float> cols(dims * stride + 1, 0.0f);
+    for (float& v : cols) {
+      v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    }
+    std::vector<double> weights(dims);
+    for (double& w : weights) w = rng.Uniform(-1.0, 1.0);
+    std::vector<double> got(count, -1.0), want(count, -2.0);
+    simd::ScoreColumns(cols.data(), stride, dims, weights.data(), count,
+                       got.data());
+    simd::ScoreColumnsScalar(cols.data(), stride, dims, weights.data(),
+                             count, want.data());
+    for (int j = 0; j < count; ++j) {
+      ASSERT_EQ(got[j], want[j]) << "iter " << iter << " col " << j;
+    }
+  }
+}
+
+TEST(SimdKernelTest, FirstDominatorMatchesScalar) {
+  Rng rng(602);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int dims = 1 + static_cast<int>(rng.UniformInt(0, kMaxDims - 1));
+    const int count = static_cast<int>(rng.UniformInt(0, 41));
+    const size_t stride = count + rng.UniformInt(0, 3);
+    std::vector<float> cols(dims * stride + 1, 0.0f);
+    // Coarse grid coordinates force exact ties, equal-in-some-dims
+    // near-dominators and duplicated columns.
+    for (float& v : cols) {
+      v = static_cast<float>(rng.UniformInt(0, 6)) / 6.0f;
+    }
+    float corner[kMaxDims];
+    for (int d = 0; d < dims; ++d) {
+      corner[d] = static_cast<float>(rng.UniformInt(0, 6)) / 6.0f;
+    }
+    const int got =
+        simd::FirstDominator(cols.data(), stride, dims, corner, count);
+    const int want = simd::FirstDominatorScalar(cols.data(), stride, dims,
+                                                corner, count);
+    ASSERT_EQ(got, want) << "iter " << iter;
+  }
+}
+
+// --- SkylineSet dominance probes -------------------------------------
+
+/// Mirror of a SkylineSet's live membership: (slot, point) pairs
+/// recorded from Add()/Remove() calls, used as the brute-force
+/// dominance reference.
+struct SkyMirror {
+  struct Member {
+    int slot;
+    Point point;
+    double sum;
+  };
+  std::vector<Member> live;
+
+  void Add(int slot, const Point& p) {
+    live.push_back(Member{slot, p, p.Sum()});
+  }
+  void Remove(int slot) {
+    for (auto it = live.begin(); it != live.end(); ++it) {
+      if (it->slot == slot) {
+        live.erase(it);
+        return;
+      }
+    }
+    FAIL() << "slot not live";
+  }
+  bool AnyDominates(const Point& corner) const {
+    for (const Member& m : live) {
+      if (m.point.Dominates(corner)) return true;
+    }
+    return false;
+  }
+  /// First dominator in the scan order (descending sum, ties ascending
+  /// slot) — what a probe with a cold pruner cache must return.
+  int FirstInScanOrder(const Point& corner, double corner_sum) const {
+    std::vector<const Member*> order;
+    for (const Member& m : live) order.push_back(&m);
+    std::sort(order.begin(), order.end(),
+              [](const Member* a, const Member* b) {
+                if (a->sum != b->sum) return a->sum > b->sum;
+                return a->slot < b->slot;
+              });
+    for (const Member* m : order) {
+      if (m->sum <= corner_sum) break;
+      if (m->point.Dominates(corner)) return m->slot;
+    }
+    return -1;
+  }
+};
+
+Point RandomGridPoint(Rng* rng, int dims) {
+  Point p(dims);
+  for (int d = 0; d < dims; ++d) {
+    p[d] = static_cast<float>(rng->UniformInt(0, 8)) / 8.0f;
+  }
+  return p;
+}
+
+// Randomized property sweep over 1k seeded point sets: two SkylineSets
+// receive the identical Add/Remove/probe sequence, one probed with
+// single FindDominator calls and one with the batched entry points.
+// Checks per probe:
+//  * single and batched results are identical (the batch API is
+//    defined as consecutive single probes, pruner cache included);
+//  * a returned slot is a live member that strictly dominates the
+//    corner (brute force over the mirror);
+//  * -1 means no live member dominates the corner;
+//  * a fresh (cache-free) SkylineSet with the same membership returns
+//    the first dominator in scan order (descending sum, ties on
+//    ascending slot).
+TEST(SkylineSetPropertyTest, DominatorProbesMatchBruteForce) {
+  Rng rng(603);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const int dims = 2 + static_cast<int>(rng.UniformInt(0, 3));
+    SkylineSet single, batched;
+    SkyMirror mirror;
+    std::vector<std::pair<Point, ObjectId>> members;  // live, add order
+    ObjectId next_id = 0;
+
+    const int ops = 3 + static_cast<int>(rng.UniformInt(0, 24));
+    for (int op = 0; op < ops; ++op) {
+      const int kind =
+          members.empty() ? 0 : static_cast<int>(rng.UniformInt(0, 9));
+      if (kind < 5) {
+        const Point p = RandomGridPoint(&rng, dims);
+        const ObjectId id = next_id++;
+        const int slot_s = single.Add(p, id);
+        const int slot_b = batched.Add(p, id);
+        ASSERT_EQ(slot_s, slot_b);
+        mirror.Add(slot_s, p);
+        members.emplace_back(p, id);
+      } else if (kind < 7) {
+        const size_t pick = rng.UniformInt(0, members.size() - 1);
+        const ObjectId id = members[pick].second;
+        const int slot = single.SlotOf(id);
+        single.Remove(id);
+        batched.Remove(id);
+        mirror.Remove(slot);
+        members.erase(members.begin() + pick);
+      } else {
+        // A burst of probes: single calls on one set, one batch (or
+        // prefix chain) on the other.
+        const int n = 1 + static_cast<int>(rng.UniformInt(0, 6));
+        std::vector<Point> corners;
+        std::vector<DominatorProbe> probes;
+        corners.reserve(n);
+        for (int i = 0; i < n; ++i) {
+          corners.push_back(RandomGridPoint(&rng, dims));
+        }
+        for (const Point& c : corners) {
+          probes.push_back(DominatorProbe{&c, c.Sum()});
+        }
+        std::vector<int> got(n);
+        if (rng.UniformInt(0, 1) == 0) {
+          batched.FindDominatorBatch(probes.data(), n, got.data());
+        } else {
+          // Prefix chaining must cover all probes the same way.
+          int done = 0;
+          while (done < n) {
+            done += batched.FindDominatorPrefix(&probes[done], n - done,
+                                                &got[done]);
+            // Re-probe misses the way callers would, minus the Add:
+            // a miss ends a prefix, the next call resumes after it.
+          }
+        }
+        for (int i = 0; i < n; ++i) {
+          const int want = single.FindDominator(corners[i],
+                                                corners[i].Sum());
+          ASSERT_EQ(got[i], want) << "iter " << iter << " probe " << i;
+          if (want >= 0) {
+            ASSERT_TRUE(single.at(want).live);
+            ASSERT_TRUE(single.at(want).point.Dominates(corners[i]));
+          } else {
+            ASSERT_FALSE(mirror.AnyDominates(corners[i]));
+          }
+        }
+      }
+    }
+
+    // Cold-cache check: rebuild the same membership in the same Add
+    // order on a fresh set; its first probe must return the scan-order
+    // first dominator.
+    SkylineSet fresh;
+    for (const auto& [p, id] : members) fresh.Add(p, id);
+    const Point probe = RandomGridPoint(&rng, dims);
+    // The fresh mirror has different slots (no removals interleaved),
+    // so rebuild it from the fresh set's own slots.
+    SkyMirror fresh_mirror;
+    fresh.ForEach([&](int slot, const SkylineObject& m) {
+      fresh_mirror.Add(slot, m.point);
+    });
+    ASSERT_EQ(fresh.FindDominator(probe, probe.Sum()),
+              fresh_mirror.FirstInScanOrder(probe, probe.Sum()))
+        << "iter " << iter;
   }
 }
 
