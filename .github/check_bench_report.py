@@ -57,6 +57,62 @@ def check_batch_figure(batch_rows):
                     )
 
 
+def check_micro_packed_probe(rows):
+    """The packed store is a drop-in FunctionLists: at every x the
+    'lists' and 'packed' rows must agree on every deterministic column
+    (identical probe sequence), and 'packed-impact' must drain the same
+    assignments (pairs) even though its block-granular probe count
+    differs."""
+    by_x = {}
+    for row in rows:
+        by_x.setdefault(row["x"], {})[row["algorithm"]] = row
+    for x, algos in by_x.items():
+        for name in ("lists", "packed", "packed-impact"):
+            if name not in algos:
+                fail(f"micro_packed_probe: missing {name!r} row at x={x}")
+        for field in ("io_accesses", "pairs", "loops"):
+            if algos["lists"][field] != algos["packed"][field]:
+                fail(
+                    f"micro_packed_probe: {field} differs between lists "
+                    f"({algos['lists'][field]}) and packed "
+                    f"({algos['packed'][field]}) at x={x}: the packed "
+                    "default traversal diverged from FunctionLists"
+                )
+        if algos["packed-impact"]["pairs"] != algos["lists"]["pairs"]:
+            fail(
+                f"micro_packed_probe: packed-impact drained "
+                f"{algos['packed-impact']['pairs']} pairs vs "
+                f"{algos['lists']['pairs']} at x={x}: the impact-ordered "
+                "traversal lost or invented assignments"
+            )
+
+
+def check_scale_sweep(rows):
+    """Every backend performs the same full drain at each x, so pairs
+    must be identical across the per-x rows, and the sweep must cover
+    more than one size."""
+    by_x = {}
+    for row in rows:
+        by_x.setdefault(row["x"], []).append(row)
+    if len(by_x) < 2:
+        fail(
+            f"scale_sweep: {len(by_x)} x value(s); expected a sweep over "
+            ">= 2 sizes"
+        )
+    for x, x_rows in by_x.items():
+        if len(x_rows) < 3:
+            fail(f"scale_sweep: {len(x_rows)} row(s) at x={x}; expected 3")
+        baseline = x_rows[0]
+        for row in x_rows[1:]:
+            if row["pairs"] != baseline["pairs"]:
+                fail(
+                    f"scale_sweep: pairs differs at x={x} "
+                    f"({baseline['algorithm']}={baseline['pairs']} vs "
+                    f"{row['algorithm']}={row['pairs']}): the backends did "
+                    "not perform the same drain"
+                )
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} REPORT.json FAIRMATCH_BENCH_BINARY")
@@ -103,6 +159,8 @@ def main():
             rows += 1
 
     check_batch_figure(report["figures"].get("batch_throughput", []))
+    check_micro_packed_probe(report["figures"].get("micro_packed_probe", []))
+    check_scale_sweep(report["figures"].get("scale_sweep", []))
 
     print(
         f"check_bench_report: OK — {len(reported)} figures, {rows} rows, "

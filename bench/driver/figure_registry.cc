@@ -2,12 +2,13 @@
 
 namespace fairmatch::bench {
 
-// Defined in figures.cc / micro_figures.cc / batch_figure.cc;
-// referenced here so the registration translation units are always
-// pulled out of the static library.
+// Defined in figures.cc / micro_figures.cc / batch_figure.cc /
+// packed_figures.cc; referenced here so the registration translation
+// units are always pulled out of the static library.
 void RegisterBuiltinFigures(FigureRegistry* registry);
 void RegisterMicroFigures(FigureRegistry* registry);
 void RegisterBatchFigure(FigureRegistry* registry);
+void RegisterPackedFigures(FigureRegistry* registry);
 
 FigureRegistry& FigureRegistry::Global() {
   static FigureRegistry* registry = [] {
@@ -15,6 +16,7 @@ FigureRegistry& FigureRegistry::Global() {
     RegisterBuiltinFigures(r);
     RegisterMicroFigures(r);
     RegisterBatchFigure(r);
+    RegisterPackedFigures(r);
     return r;
   }();
   return *registry;

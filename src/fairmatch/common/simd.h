@@ -1,11 +1,15 @@
 // Portable vector kernels for the column-major (SoA) hot loops.
 //
-// Two kernels cover both vectorized inner loops: linear scoring of a
-// block of member columns (SB-alt's batch search) and first-dominator
-// search over a block of skyline columns (SkylineSet::FindDominator).
-// Both operate on dim-major float columns: `cols[d * stride + j]` is
-// coordinate d of column j, so one vector load touches consecutive
-// columns of one dimension.
+// Four kernels cover the vectorized inner loops: linear scoring of a
+// block of member columns (SB-alt's batch search), first-dominator
+// search over a block of skyline columns (SkylineSet::FindDominator),
+// fractional-knapsack score bounds over a batch of members (SB-alt's
+// fetch-worthiness probe), and fixed-width id decode (the packed
+// function-list block payloads). The first two operate on dim-major
+// float columns: `cols[d * stride + j]` is coordinate d of column j,
+// so one vector load touches consecutive columns of one dimension; the
+// knapsack kernel instead lanes over members (gathered rows), and the
+// id decoder is a pure integer widening pass.
 //
 // Backend selection is at compile time: AVX2 when the target enables
 // it, else SSE2 (any x86-64), else NEON (aarch64), else the scalar
@@ -27,6 +31,7 @@
 #define FAIRMATCH_COMMON_SIMD_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #if !defined(FAIRMATCH_SIMD_DISABLED) && defined(__AVX2__)
 #define FAIRMATCH_SIMD_AVX2 1
@@ -275,6 +280,214 @@ inline int FirstDominator(const float* cols, size_t stride, int dims,
   return -1;
 #else
   return FirstDominatorScalar(cols, stride, dims, corner, count);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Kernel 3 — knapsack score bounds: for each listed member m, the
+// fractional-knapsack upper bound of an unseen function's score given
+// the per-list frontier values (SB-alt's fetch-worthiness probe):
+//   bound(m) = coef * pt_m[skip_dim]
+//            + sum over k in order_m of clamp(min(budget, frontier[k]))
+// with budget starting at budget0 and shrinking by the amount taken,
+// and dimension skip_dim (whose exact coefficient `coef` is known)
+// contributing nothing to the knapsack.
+// ---------------------------------------------------------------------
+
+/// Scalar reference. `pts`/`orders` are row-major member blocks of
+/// `stride` floats/ints per row; `members[0..count)` selects the rows.
+/// Per lane the products accumulate in the member's `orders` sequence
+/// with separate IEEE mul and add; the beta clamp is written so every
+/// backend reproduces the same bit pattern (including the +-0 cases).
+inline void KnapsackBoundsScalar(const float* pts, const int* orders,
+                                 size_t stride, int dims, int skip_dim,
+                                 double coef, double budget0,
+                                 const double* frontier, const int* members,
+                                 int count, double* out) {
+  for (int l = 0; l < count; ++l) {
+    const int m = members[l];
+    const float* pt = pts + static_cast<size_t>(m) * stride;
+    const int* order = orders + static_cast<size_t>(m) * stride;
+    double budget = budget0;
+    double bound = coef * static_cast<double>(pt[skip_dim]);
+    for (int j = 0; j < dims; ++j) {
+      const int k = order[j];
+      double beta = frontier[k] < budget ? frontier[k] : budget;
+      if (beta < 0.0) beta = 0.0;
+      if (k == skip_dim) beta = 0.0;
+      bound += beta * static_cast<double>(pt[k]);
+      budget -= beta;
+    }
+    out[l] = bound;
+  }
+}
+
+/// AVX2 lanes four members through the same op sequence with gathered
+/// rows (min/max/andnot reproduce the scalar clamp bit-for-bit, and the
+/// zero-beta lanes add an exact +0.0). SSE2 and NEON have no gather and
+/// use the scalar reference, which is what the bit-identity contract
+/// requires anyway.
+inline void KnapsackBounds(const float* pts, const int* orders, size_t stride,
+                           int dims, int skip_dim, double coef, double budget0,
+                           const double* frontier, const int* members,
+                           int count, double* out) {
+#if defined(FAIRMATCH_SIMD_AVX2)
+  int l = 0;
+  const __m256d zero = _mm256_setzero_pd();
+  for (; l + 4 <= count; l += 4) {
+    const __m128i mvec =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(members + l));
+    const __m128i base =
+        _mm_mullo_epi32(mvec, _mm_set1_epi32(static_cast<int>(stride)));
+    const __m128 pt_skip = _mm_i32gather_ps(
+        pts, _mm_add_epi32(base, _mm_set1_epi32(skip_dim)), 4);
+    __m256d bound =
+        _mm256_mul_pd(_mm256_set1_pd(coef), _mm256_cvtps_pd(pt_skip));
+    __m256d budget = _mm256_set1_pd(budget0);
+    for (int j = 0; j < dims; ++j) {
+      const __m128i k = _mm_i32gather_epi32(
+          orders, _mm_add_epi32(base, _mm_set1_epi32(j)), 4);
+      const __m256d fr = _mm256_i32gather_pd(frontier, k, 8);
+      __m256d beta = _mm256_max_pd(_mm256_min_pd(budget, fr), zero);
+      const __m256d skip_mask = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(
+          _mm_cmpeq_epi32(k, _mm_set1_epi32(skip_dim))));
+      beta = _mm256_andnot_pd(skip_mask, beta);
+      const __m128 ptk = _mm_i32gather_ps(pts, _mm_add_epi32(base, k), 4);
+      bound = _mm256_add_pd(bound, _mm256_mul_pd(beta, _mm256_cvtps_pd(ptk)));
+      budget = _mm256_sub_pd(budget, beta);
+    }
+    _mm256_storeu_pd(out + l, bound);
+  }
+  if (l < count) {
+    KnapsackBoundsScalar(pts, orders, stride, dims, skip_dim, coef, budget0,
+                         frontier, members + l, count - l, out + l);
+  }
+#else
+  KnapsackBoundsScalar(pts, orders, stride, dims, skip_dim, coef, budget0,
+                       frontier, members, count, out);
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Kernel 4 — packed id decode: out[i] = base + the i-th little-endian
+// unsigned integer of `id_bytes` bytes (1, 2 or 4) in `src`. Integer
+// widening is exact, so every backend is trivially bit-identical; the
+// vector paths exist for decode throughput (a whole packed block per
+// TA probe).
+// ---------------------------------------------------------------------
+
+/// Scalar reference.
+inline void UnpackIdsScalar(const unsigned char* src, int id_bytes,
+                            int32_t base, int count, int32_t* out) {
+  for (int i = 0; i < count; ++i) {
+    const unsigned char* p = src + static_cast<size_t>(i) * id_bytes;
+    uint32_t v = 0;
+    for (int b = 0; b < id_bytes; ++b) {
+      v |= static_cast<uint32_t>(p[b]) << (8 * b);
+    }
+    out[i] = base + static_cast<int32_t>(v);
+  }
+}
+
+inline void UnpackIds(const unsigned char* src, int id_bytes, int32_t base,
+                      int count, int32_t* out) {
+#if defined(FAIRMATCH_SIMD_AVX2)
+  const __m256i vbase = _mm256_set1_epi32(base);
+  int i = 0;
+  if (id_bytes == 1) {
+    for (; i + 8 <= count; i += 8) {
+      const __m128i raw =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+      const __m256i v = _mm256_add_epi32(_mm256_cvtepu8_epi32(raw), vbase);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    }
+  } else if (id_bytes == 2) {
+    for (; i + 8 <= count; i += 8) {
+      const __m128i raw = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(src + 2 * static_cast<size_t>(i)));
+      const __m256i v = _mm256_add_epi32(_mm256_cvtepu16_epi32(raw), vbase);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    }
+  } else if (id_bytes == 4) {
+    for (; i + 8 <= count; i += 8) {
+      const __m256i raw = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + 4 * static_cast<size_t>(i)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_add_epi32(raw, vbase));
+    }
+  }
+  if (i < count) {
+    UnpackIdsScalar(src + static_cast<size_t>(i) * id_bytes, id_bytes, base,
+                    count - i, out + i);
+  }
+#elif defined(FAIRMATCH_SIMD_SSE2)
+  const __m128i vbase = _mm_set1_epi32(base);
+  const __m128i zero = _mm_setzero_si128();
+  int i = 0;
+  if (id_bytes == 1) {
+    for (; i + 4 <= count; i += 4) {
+      int32_t word;
+      __builtin_memcpy(&word, src + i, 4);
+      __m128i v = _mm_cvtsi32_si128(word);
+      v = _mm_unpacklo_epi8(v, zero);
+      v = _mm_unpacklo_epi16(v, zero);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                       _mm_add_epi32(v, vbase));
+    }
+  } else if (id_bytes == 2) {
+    for (; i + 4 <= count; i += 4) {
+      __m128i v = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(src + 2 * static_cast<size_t>(i)));
+      v = _mm_unpacklo_epi16(v, zero);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                       _mm_add_epi32(v, vbase));
+    }
+  } else if (id_bytes == 4) {
+    for (; i + 4 <= count; i += 4) {
+      const __m128i raw = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(src + 4 * static_cast<size_t>(i)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                       _mm_add_epi32(raw, vbase));
+    }
+  }
+  if (i < count) {
+    UnpackIdsScalar(src + static_cast<size_t>(i) * id_bytes, id_bytes, base,
+                    count - i, out + i);
+  }
+#elif defined(FAIRMATCH_SIMD_NEON)
+  const int32x4_t vbase = vdupq_n_s32(base);
+  int i = 0;
+  if (id_bytes == 1) {
+    for (; i + 8 <= count; i += 8) {
+      const uint16x8_t w = vmovl_u8(vld1_u8(src + i));
+      const int32x4_t lo = vreinterpretq_s32_u32(vmovl_u16(vget_low_u16(w)));
+      const int32x4_t hi = vreinterpretq_s32_u32(vmovl_u16(vget_high_u16(w)));
+      vst1q_s32(out + i, vaddq_s32(lo, vbase));
+      vst1q_s32(out + i + 4, vaddq_s32(hi, vbase));
+    }
+  } else if (id_bytes == 2) {
+    for (; i + 8 <= count; i += 8) {
+      // Unaligned-safe byte load; little-endian lanes reinterpret as u16.
+      const uint16x8_t w = vreinterpretq_u16_u8(
+          vld1q_u8(src + 2 * static_cast<size_t>(i)));
+      const int32x4_t lo = vreinterpretq_s32_u32(vmovl_u16(vget_low_u16(w)));
+      const int32x4_t hi = vreinterpretq_s32_u32(vmovl_u16(vget_high_u16(w)));
+      vst1q_s32(out + i, vaddq_s32(lo, vbase));
+      vst1q_s32(out + i + 4, vaddq_s32(hi, vbase));
+    }
+  } else if (id_bytes == 4) {
+    for (; i + 4 <= count; i += 4) {
+      const int32x4_t raw = vreinterpretq_s32_u8(
+          vld1q_u8(src + 4 * static_cast<size_t>(i)));
+      vst1q_s32(out + i, vaddq_s32(raw, vbase));
+    }
+  }
+  if (i < count) {
+    UnpackIdsScalar(src + static_cast<size_t>(i) * id_bytes, id_bytes, base,
+                    count - i, out + i);
+  }
+#else
+  UnpackIdsScalar(src, id_bytes, base, count, out);
 #endif
 }
 

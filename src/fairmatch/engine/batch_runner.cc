@@ -11,6 +11,7 @@
 #include "fairmatch/engine/registry.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/topk/disk_function_lists.h"
+#include "fairmatch/topk/packed_function_lists.h"
 
 namespace fairmatch {
 
@@ -28,7 +29,8 @@ void AccumulateItem(LaneStats* lane, const AssignResult& result) {
 BatchRunner::BatchRunner(int threads) : threads_(threads < 1 ? 1 : threads) {}
 
 BatchResult BatchRunner::RunImpl(
-    size_t count, const std::function<AssignResult(size_t)>& run_item) {
+    size_t count,
+    const std::function<AssignResult(size_t, LaneWorkspace*)>& run_item) {
   // Touch the registry before spawning lanes: Global() lazily registers
   // the builtins, and while its magic-static initialization is
   // thread-safe, doing it once up front keeps first-item latency out of
@@ -43,17 +45,19 @@ BatchResult BatchRunner::RunImpl(
   Timer wall;
   {
     // Lanes pull the next unclaimed item index; each writes only its
-    // own result slot and its own LaneStats entry, so the only shared
-    // write is the atomic cursor.
+    // own result slot, its own LaneStats entry and its own workspace,
+    // so the only shared write is the atomic cursor.
+    std::vector<LaneWorkspace> workspaces(static_cast<size_t>(threads_));
     std::atomic<size_t> next{0};
     ThreadPool pool(threads_);
     for (int lane = 0; lane < threads_; ++lane) {
-      pool.Submit([&result, &next, &run_item, count, lane] {
+      pool.Submit([&result, &workspaces, &next, &run_item, count, lane] {
         LaneStats& stats = result.stats.lanes[static_cast<size_t>(lane)];
+        LaneWorkspace* ws = &workspaces[static_cast<size_t>(lane)];
         for (;;) {
           const size_t index = next.fetch_add(1);
           if (index >= count) return;
-          result.items[index] = run_item(index);
+          result.items[index] = run_item(index, ws);
           AccumulateItem(&stats, result.items[index]);
         }
       });
@@ -89,8 +93,12 @@ BatchResult BatchRunner::Run(const std::vector<BatchItem>& items) {
     FAIRMATCH_CHECK(item.env.problem != nullptr && item.env.tree != nullptr);
     FAIRMATCH_CHECK(!info->needs_disk_functions ||
                     item.env.fn_store != nullptr);
+    FAIRMATCH_CHECK(!info->needs_packed_functions ||
+                    item.env.packed_fns != nullptr);
   }
-  return RunImpl(items.size(), [&items](size_t index) {
+  // Caller-assembled items bring their own storage; the lane workspace
+  // only serves the generated path.
+  return RunImpl(items.size(), [&items](size_t index, LaneWorkspace*) {
     const BatchItem& item = items[index];
     std::unique_ptr<Matcher> matcher =
         MatcherRegistry::Global().Create(item.matcher_name, item.env);
@@ -102,6 +110,12 @@ BatchResult BatchRunner::Run(const std::vector<BatchItem>& items) {
 AssignResult RunGeneratedInstance(const std::string& matcher_name,
                                   const BatchProblemSpec& spec,
                                   size_t index) {
+  return RunGeneratedInstance(matcher_name, spec, index, nullptr);
+}
+
+AssignResult RunGeneratedInstance(const std::string& matcher_name,
+                                  const BatchProblemSpec& spec, size_t index,
+                                  LaneWorkspace* ws) {
   // Instance `index` is fully determined by its seed: the problem, the
   // storage stack and the context are all private, which is exactly
   // what makes the result independent of which lane runs it.
@@ -124,23 +138,43 @@ AssignResult RunGeneratedInstance(const std::string& matcher_name,
 
   // Storage layout mirrors bench_common::Run: paged objects in the
   // standard setting, in-memory objects + on-disk coefficient lists in
-  // the disk-resident-F setting. Build traffic is excluded from the
-  // counters but (deliberately) not from the wall clock — a lane that
-  // is building an index is still occupying its disk.
+  // the disk-resident-F setting, in-memory objects + a packed image in
+  // the packed setting. Build traffic is excluded from the counters but
+  // (deliberately) not from the wall clock — a lane that is building an
+  // index is still occupying its disk. A workspace, when present,
+  // donates its recycled page buffers to whichever simulated disk the
+  // item's stores sit on.
+  DiskManager* disk = nullptr;
+  if (ws != nullptr) {
+    ws->Recycle();
+    disk = &ws->disk();
+  }
   std::optional<PagedNodeStore> paged_store;
   std::optional<MemNodeStore> mem_store;
   std::optional<DiskFunctionStore> fstore;
+  std::optional<PackedFunctionStore> pstore;
   std::optional<RTree> tree;
   if (spec.disk_resident_functions) {
     mem_store.emplace(problem.dims);
     tree.emplace(&*mem_store);
     BuildObjectTree(problem, &*tree);
-    fstore.emplace(problem.functions, spec.buffer_fraction, &ctx.counters());
+    fstore.emplace(problem.functions, spec.buffer_fraction, &ctx.counters(),
+                   disk);
     fstore->disk().set_io_latency_us(spec.io_latency_us);
     env.fn_store = &*fstore;
+    ctx.set_function_backend("disk");
+  } else if (spec.packed_functions) {
+    mem_store.emplace(problem.dims);
+    tree.emplace(&*mem_store);
+    BuildObjectTree(problem, &*tree);
+    PackedStoreOptions popts;
+    popts.use_mmap = spec.packed_mmap;
+    pstore.emplace(problem.functions, popts);
+    env.packed_fns = &*pstore;
+    ctx.set_function_backend(pstore->mapped() ? "packed-mmap" : "packed");
   } else {
     paged_store.emplace(problem.dims, /*buffer_frames=*/4096,
-                        &ctx.counters());
+                        &ctx.counters(), disk);
     paged_store->disk().set_io_latency_us(spec.io_latency_us);
     tree.emplace(&*paged_store);
     BuildObjectTree(problem, &*tree);
@@ -163,9 +197,11 @@ BatchResult BatchRunner::RunGenerated(const std::string& matcher_name,
   FAIRMATCH_CHECK(info != nullptr);
   FAIRMATCH_CHECK(!info->needs_disk_functions ||
                   spec.disk_resident_functions);
+  FAIRMATCH_CHECK(!info->needs_packed_functions || spec.packed_functions);
+  FAIRMATCH_CHECK(!(spec.disk_resident_functions && spec.packed_functions));
   return RunImpl(static_cast<size_t>(count),
-                 [&matcher_name, &spec](size_t index) {
-                   return RunGeneratedInstance(matcher_name, spec, index);
+                 [&matcher_name, &spec](size_t index, LaneWorkspace* ws) {
+                   return RunGeneratedInstance(matcher_name, spec, index, ws);
                  });
 }
 

@@ -32,8 +32,30 @@
 
 #include "fairmatch/data/synthetic.h"
 #include "fairmatch/engine/matcher.h"
+#include "fairmatch/storage/disk_manager.h"
 
 namespace fairmatch {
+
+/// Per-lane reusable storage owned by the runner, handed to consecutive
+/// items on the same lane. Today it holds the lane's simulated disk:
+/// instead of every generated item allocating (and then freeing) its
+/// whole page set, the lane Recycle()s the manager between items so the
+/// next item's stores reuse the previous item's page buffers. Recycled
+/// state is observably identical to a fresh DiskManager (ids restart at
+/// zero, pages come back zeroed), which is what keeps per-item counters
+/// byte-identical to a workspace-free run — tests/batch_test.cc holds
+/// RunGenerated to that.
+class LaneWorkspace {
+ public:
+  DiskManager& disk() { return disk_; }
+
+  /// Parks every live page for reuse; call between items, before the
+  /// next item's stores attach.
+  void Recycle() { disk_.Recycle(); }
+
+ private:
+  DiskManager disk_;
+};
 
 /// One unit of batch work: a registered matcher name plus the
 /// environment to run it in. The environment must satisfy the
@@ -108,6 +130,15 @@ struct BatchProblemSpec {
   bool disk_resident_functions = false;
   double buffer_fraction = 0.02;
 
+  /// Packed-function setting (topk/packed_function_lists.h): objects in
+  /// memory, coefficient lists in a per-item immutable packed image.
+  /// Required by matchers with needs_packed_functions (the *-Packed
+  /// variants); mutually exclusive with disk_resident_functions.
+  /// `packed_mmap` additionally routes the image through a temp file +
+  /// MmapFile instead of the in-memory buffer.
+  bool packed_functions = false;
+  bool packed_mmap = false;
+
   /// Per-physical-I/O latency for the item's simulated disks
   /// (DiskManager::set_io_latency_us). Zero keeps the pure counted-I/O
   /// model; the batch throughput bench sets it so lanes overlap real
@@ -137,9 +168,11 @@ class BatchRunner {
                            const BatchProblemSpec& spec, int count);
 
  private:
-  /// Shared fan-out: `run_item(i)` executes item i on some lane.
-  BatchResult RunImpl(size_t count,
-                      const std::function<AssignResult(size_t)>& run_item);
+  /// Shared fan-out: `run_item(i, ws)` executes item i on some lane,
+  /// with `ws` the lane's private reusable workspace.
+  BatchResult RunImpl(
+      size_t count,
+      const std::function<AssignResult(size_t, LaneWorkspace*)>& run_item);
 
   int threads_;
 };
@@ -147,9 +180,15 @@ class BatchRunner {
 /// Builds and solves one seeded instance exactly as RunGenerated's
 /// lanes do (problem from seed base_seed + index, private storage
 /// stack, private ExecContext). This is the single-run oracle the
-/// batch determinism tests compare lane outputs against.
+/// batch determinism tests compare lane outputs against. The overload
+/// with a workspace is what lanes call; passing nullptr (or using the
+/// 3-arg form) allocates fresh storage instead of recycling — the two
+/// are observably identical.
 AssignResult RunGeneratedInstance(const std::string& matcher_name,
                                   const BatchProblemSpec& spec, size_t index);
+AssignResult RunGeneratedInstance(const std::string& matcher_name,
+                                  const BatchProblemSpec& spec, size_t index,
+                                  LaneWorkspace* ws);
 
 }  // namespace fairmatch
 

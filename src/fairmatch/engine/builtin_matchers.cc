@@ -129,6 +129,34 @@ void RegisterBuiltinMatchers(MatcherRegistry* registry) {
     registry->Register(std::move(info));
   }
 
+  // --- packed-list variants --------------------------------------------
+  {
+    MatcherInfo info = Variant(
+        "SB-Packed",
+        "SB over packed function lists with the impact-ordered block "
+        "traversal (topk/packed_function_lists.h)",
+        [](const MatcherEnv& env) {
+          SBOptions o;
+          o.ta.impact_ordered = true;
+          SBAssignment sb(env.problem, env.tree, o, env.packed_fns, env.ctx);
+          return sb.Run();
+        });
+    info.needs_packed_functions = true;
+    registry->Register(std::move(info));
+  }
+  {
+    MatcherInfo info = Variant(
+        "SB-alt-Packed",
+        "batch best-pair search consuming packed blocks in descending "
+        "max-impact order",
+        [](const MatcherEnv& env) {
+          return SBAltPackedAssignment(*env.problem, *env.tree,
+                                       env.packed_fns, env.ctx);
+        });
+    info.needs_packed_functions = true;
+    registry->Register(std::move(info));
+  }
+
   // --- baselines -------------------------------------------------------
   {
     MatcherInfo info = Variant(

@@ -51,6 +51,16 @@ class ExecContext {
   MemoryTracker& memory() { return memory_; }
   const MemoryTracker& memory() const { return memory_; }
 
+  /// Which function-index backend the run's environment was assembled
+  /// with: "lists" (in-memory, the default), "disk"
+  /// (DiskFunctionStore), "packed" or "packed-mmap"
+  /// (PackedFunctionStore). Purely descriptive — set by whoever builds
+  /// the MatcherEnv, read by bench report rows and diagnostics.
+  void set_function_backend(const char* backend) {
+    function_backend_ = backend;
+  }
+  const char* function_backend() const { return function_backend_; }
+
   /// Restarts the wall clock and zeroes the memory tracker. Does NOT
   /// reset counters(): storage objects own their measured-phase resets
   /// (e.g. PagedNodeStore::ResetCounters after bulk load), and a fresh
@@ -79,6 +89,7 @@ class ExecContext {
   PerfCounters counters_;
   MemoryTracker memory_;
   Timer timer_;
+  const char* function_backend_ = "lists";
 };
 
 }  // namespace fairmatch

@@ -19,6 +19,8 @@
 
 namespace fairmatch {
 
+class PackedFunctionStore;
+
 /// Everything a matcher needs to run, assembled by the caller. The
 /// referenced objects must outlive the matcher. For parallel batch
 /// execution the environment must be item-private (tree, stores and
@@ -36,6 +38,12 @@ struct MatcherEnv {
   /// that can exploit it run in the disk-resident-F setting; SB-alt
   /// requires it. When null, functions are indexed in memory.
   DiskFunctionStore* fn_store = nullptr;
+
+  /// Packed block-compressed function lists
+  /// (topk/packed_function_lists.h). Required by the *-Packed variants,
+  /// which traverse its blocks in impact order; ignored by everything
+  /// else.
+  PackedFunctionStore* packed_fns = nullptr;
 
   /// Buffer fraction for a matcher's private disk structures (Chain's
   /// disk-resident function R-tree in the disk-F setting).

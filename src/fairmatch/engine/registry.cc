@@ -30,6 +30,9 @@ std::unique_ptr<Matcher> MatcherRegistry::Create(
   if (info == nullptr) return nullptr;
   if (env.problem == nullptr || env.tree == nullptr) return nullptr;
   if (info->needs_disk_functions && env.fn_store == nullptr) return nullptr;
+  if (info->needs_packed_functions && env.packed_fns == nullptr) {
+    return nullptr;
+  }
   return info->factory(env);
 }
 

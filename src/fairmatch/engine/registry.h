@@ -27,6 +27,9 @@ struct MatcherInfo {
   /// Requires MatcherEnv::fn_store (SB-alt's batch search only makes
   /// sense over the on-disk sorted lists).
   bool needs_disk_functions = false;
+  /// Requires MatcherEnv::packed_fns (the *-Packed variants traverse
+  /// the packed blocks in impact order).
+  bool needs_packed_functions = false;
   /// Physically deletes from MatcherEnv::tree (Chain); callers must
   /// hand such matchers a throwaway tree.
   bool mutates_tree = false;

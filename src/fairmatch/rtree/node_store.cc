@@ -47,10 +47,11 @@ void NodeHandle::Release() {
 }
 
 PagedNodeStore::PagedNodeStore(int dims, size_t buffer_frames,
-                               PerfCounters* counters)
+                               PerfCounters* counters, DiskManager* disk)
     : NodeStore(dims),
+      disk_(disk != nullptr ? disk : &own_disk_),
       counters_(counters != nullptr ? counters : &own_counters_),
-      pool_(&disk_, buffer_frames, counters_) {}
+      pool_(disk_, buffer_frames, counters_) {}
 
 NodeHandle PagedNodeStore::Read(PageId pid) {
   return NodeHandle(pool_.FetchPage(pid), dims(), /*writable=*/false);
@@ -69,7 +70,7 @@ void PagedNodeStore::Free(PageId pid) { pool_.DeletePage(pid); }
 
 void PagedNodeStore::SetBufferFraction(double fraction) {
   auto frames = static_cast<size_t>(
-      std::llround(fraction * static_cast<double>(disk_.num_pages())));
+      std::llround(fraction * static_cast<double>(disk_->num_pages())));
   pool_.set_capacity(frames);
 }
 

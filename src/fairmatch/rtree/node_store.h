@@ -99,15 +99,20 @@ class PagedNodeStore : public NodeStore {
   /// SetBufferFraction() after bulk load to size it as a % of the file.
   /// When `counters` is non-null (typically an ExecContext's shared
   /// counters), this store's traffic is accounted there instead of in a
-  /// private PerfCounters; `counters` must outlive the store.
+  /// private PerfCounters; `counters` must outlive the store. When
+  /// `disk` is non-null, pages live on that externally owned manager
+  /// (a BatchRunner lane's recycled one — it must be freshly
+  /// constructed or Recycle()d, and outlive the store) instead of a
+  /// private one.
   PagedNodeStore(int dims, size_t buffer_frames,
-                 PerfCounters* counters = nullptr);
+                 PerfCounters* counters = nullptr,
+                 DiskManager* disk = nullptr);
 
   NodeHandle Read(PageId pid) override;
   NodeHandle Write(PageId pid) override;
   PageId Allocate() override;
   void Free(PageId pid) override;
-  int64_t num_pages() const override { return disk_.num_pages(); }
+  int64_t num_pages() const override { return disk_->num_pages(); }
 
   /// Sizes the buffer as `fraction` of the current file size, in pages
   /// (fraction 0 => no caching, the paper's "0% buffer").
@@ -120,10 +125,11 @@ class PagedNodeStore : public NodeStore {
   PerfCounters& counters() { return *counters_; }
   const PerfCounters& counters() const { return *counters_; }
   BufferPool& pool() { return pool_; }
-  DiskManager& disk() { return disk_; }
+  DiskManager& disk() { return *disk_; }
 
  private:
-  DiskManager disk_;
+  DiskManager own_disk_;
+  DiskManager* disk_;  // own_disk_ or an injected recyclable one
   PerfCounters own_counters_;
   PerfCounters* counters_;  // own_counters_ or an injected external one
   BufferPool pool_;

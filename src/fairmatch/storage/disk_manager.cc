@@ -13,17 +13,34 @@ void SimulateLatency(int us) {
 
 }  // namespace
 
+std::unique_ptr<PageData> DiskManager::TakePage() {
+  if (!spare_.empty()) {
+    std::unique_ptr<PageData> page = std::move(spare_.back());
+    spare_.pop_back();
+    return page;
+  }
+  return std::make_unique<PageData>();
+}
+
 PageId DiskManager::AllocatePage() {
   if (!free_list_.empty()) {
     PageId pid = free_list_.back();
     free_list_.pop_back();
-    pages_[pid] = std::make_unique<PageData>();
+    pages_[pid] = TakePage();
     std::memset(pages_[pid]->bytes, 0, kPageSize);
     return pid;
   }
-  pages_.push_back(std::make_unique<PageData>());
+  pages_.push_back(TakePage());
   std::memset(pages_.back()->bytes, 0, kPageSize);
   return static_cast<PageId>(pages_.size() - 1);
+}
+
+void DiskManager::Recycle() {
+  for (std::unique_ptr<PageData>& page : pages_) {
+    if (page != nullptr) spare_.push_back(std::move(page));
+  }
+  pages_.clear();
+  free_list_.clear();
 }
 
 void DiskManager::FreePage(PageId pid) {

@@ -42,6 +42,18 @@ class DiskManager {
   /// Returns a page to the free list. The page id may be recycled.
   void FreePage(PageId pid);
 
+  /// Parks every page buffer in an internal spare pool and resets the
+  /// manager to its freshly constructed state: ids restart at zero and
+  /// reallocated pages come back zeroed, so a recycled manager is
+  /// observably identical to a new one — only the 4 KB allocations are
+  /// saved. This is how BatchRunner lanes reuse one storage stack
+  /// across consecutive items (engine/batch_runner.h) without touching
+  /// the per-item determinism contract.
+  void Recycle();
+
+  /// Buffers parked by Recycle() and not yet handed back out.
+  size_t spare_pages() const { return spare_.size(); }
+
   /// Copies the page content into `dst` (kPageSize bytes).
   void ReadPage(PageId pid, std::byte* dst) const;
 
@@ -75,8 +87,12 @@ class DiskManager {
     return pid >= 0 && pid < num_pages() && pages_[pid] != nullptr;
   }
 
+  /// A zero-filled page buffer: from the spare pool when available.
+  std::unique_ptr<PageData> TakePage();
+
   std::vector<std::unique_ptr<PageData>> pages_;
   std::vector<PageId> free_list_;
+  std::vector<std::unique_ptr<PageData>> spare_;  // parked by Recycle()
   int io_latency_us_ = 0;
 };
 

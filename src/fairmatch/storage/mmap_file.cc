@@ -1,0 +1,120 @@
+#include "fairmatch/storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FAIRMATCH_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace fairmatch {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+bool MmapFile::Map(const std::string& path, std::string* error) {
+  Reset();
+#if defined(FAIRMATCH_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, "open failed for " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    SetError(error, "fstat failed for " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    SetError(error, path + " is empty");
+    ::close(fd);
+    return false;
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) {
+    SetError(error, "mmap failed for " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  data_ = static_cast<std::byte*>(addr);
+  size_ = size;
+  mapped_ = true;
+  return true;
+#else
+  // Portable fallback: read the whole file into an owned buffer.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "fopen failed for " + path);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end <= 0) {
+    SetError(error, path + " is empty or unseekable");
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  const size_t size = static_cast<size_t>(end);
+  std::byte* buffer = new (std::nothrow) std::byte[size];
+  if (buffer == nullptr || std::fread(buffer, 1, size, f) != size) {
+    SetError(error, "short read from " + path);
+    delete[] buffer;
+    std::fclose(f);
+    return false;
+  }
+  std::fclose(f);
+  data_ = buffer;
+  size_ = size;
+  mapped_ = false;
+  return true;
+#endif
+}
+
+void MmapFile::Reset() {
+  if (data_ == nullptr) return;
+#if defined(FAIRMATCH_HAVE_MMAP)
+  if (mapped_) {
+    ::munmap(data_, size_);
+  } else {
+    delete[] data_;
+  }
+#else
+  delete[] data_;
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+bool MmapFile::Write(const std::string& path, const void* bytes, size_t size,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "fopen failed for " + path);
+    return false;
+  }
+  const bool ok = size == 0 || std::fwrite(bytes, 1, size, f) == size;
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    SetError(error, "short write to " + path);
+    std::remove(path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,77 @@
+// Read-only memory mapping of a file, with a portable fallback.
+//
+// The packed function-list format (topk/packed_function_lists.h) is an
+// immutable byte image: build once, then query in place. MmapFile is
+// the thin OS seam that turns a file of that image into a stable byte
+// range — mmap(2) on POSIX systems (the kernel pages the image in and
+// out; nothing is copied up front), or a plain read into an owned
+// buffer elsewhere. Callers never branch on which path was taken: they
+// get (data, size) either way, and `mapped()` only informs diagnostics
+// and bench row labels.
+//
+// Unlike storage/disk_manager.h, this is a REAL file on the host
+// filesystem, not the simulated counted-I/O disk: the packed store's
+// probes are memory reads by design, which is exactly the property the
+// scale bench measures against DiskFunctionStore's counted pages.
+#ifndef FAIRMATCH_STORAGE_MMAP_FILE_H_
+#define FAIRMATCH_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fairmatch {
+
+/// A read-only byte range backed by a mapped (or loaded) file.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  MmapFile(MmapFile&& other) noexcept { MoveFrom(&other); }
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  /// Maps (POSIX) or loads `path` read-only. On failure returns false
+  /// and, when `error` is non-null, stores a one-line reason. Any
+  /// previous mapping is released first.
+  bool Map(const std::string& path, std::string* error = nullptr);
+
+  /// Releases the mapping / buffer.
+  void Reset();
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+  /// True when the range is an OS mapping rather than an owned copy.
+  bool mapped() const { return mapped_; }
+
+  /// Writes `size` bytes to `path` (creating or truncating it). Returns
+  /// false and fills `error` on failure.
+  static bool Write(const std::string& path, const void* bytes, size_t size,
+                    std::string* error = nullptr);
+
+ private:
+  void MoveFrom(MmapFile* other) {
+    data_ = other->data_;
+    size_ = other->size_;
+    mapped_ = other->mapped_;
+    other->data_ = nullptr;
+    other->size_ = 0;
+    other->mapped_ = false;
+  }
+
+  std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_STORAGE_MMAP_FILE_H_

@@ -9,9 +9,11 @@ namespace fairmatch {
 
 DiskFunctionStore::DiskFunctionStore(const FunctionSet& fns,
                                      double buffer_fraction,
-                                     PerfCounters* counters)
-    : counters_(counters != nullptr ? counters : &own_counters_),
-      pool_(&disk_, /*capacity_frames=*/1024, counters_) {
+                                     PerfCounters* counters,
+                                     DiskManager* disk)
+    : disk_(disk != nullptr ? disk : &own_disk_),
+      counters_(counters != nullptr ? counters : &own_counters_),
+      pool_(disk_, /*capacity_frames=*/1024, counters_) {
   FAIRMATCH_CHECK(!fns.empty());
   dims_ = fns[0].dims;
   num_functions_ = static_cast<int>(fns.size());
@@ -90,7 +92,7 @@ void DiskFunctionStore::ResetCounters() {
 
 void DiskFunctionStore::SetBufferFraction(double fraction) {
   auto frames = static_cast<size_t>(
-      std::llround(fraction * static_cast<double>(disk_.num_pages())));
+      std::llround(fraction * static_cast<double>(disk_->num_pages())));
   pool_.set_capacity(frames);
 }
 

@@ -46,9 +46,13 @@ class DiskFunctionStore : public FunctionIndexBase {
   /// counters), traffic is accounted there instead of in a private
   /// PerfCounters; `counters` must outlive the store. Construction
   /// traffic is excluded either way (counters are reset at the end of
-  /// the constructor).
+  /// the constructor). When `disk` is non-null, list pages live on that
+  /// externally owned manager (a BatchRunner lane's recycled one — it
+  /// must be freshly constructed or Recycle()d, and outlive the store)
+  /// instead of a private one.
   DiskFunctionStore(const FunctionSet& fns, double buffer_fraction,
-                    PerfCounters* counters = nullptr);
+                    PerfCounters* counters = nullptr,
+                    DiskManager* disk = nullptr);
 
   int dims() const override { return dims_; }
   int size() const override { return num_functions_; }
@@ -86,14 +90,15 @@ class DiskFunctionStore : public FunctionIndexBase {
   PerfCounters& counters() { return *counters_; }
   void ResetCounters();
   void SetBufferFraction(double fraction);
-  int64_t num_pages() const { return disk_.num_pages(); }
+  int64_t num_pages() const { return disk_->num_pages(); }
   /// The underlying simulated disk (latency knob, diagnostics).
-  DiskManager& disk() { return disk_; }
+  DiskManager& disk() { return *disk_; }
 
  private:
   double RandomCoef(int dim, FunctionId fid);
 
-  DiskManager disk_;
+  DiskManager own_disk_;
+  DiskManager* disk_;  // own_disk_ or an injected recyclable one
   PerfCounters own_counters_;
   PerfCounters* counters_;  // own_counters_ or an injected external one
   BufferPool pool_;

@@ -17,6 +17,8 @@
 
 namespace fairmatch {
 
+class PackedFunctionStore;
+
 /// Access interface for the TA-style reverse top-1 search. Methods are
 /// non-const because disk-backed implementations count I/O.
 class FunctionIndexBase {
@@ -43,6 +45,11 @@ class FunctionIndexBase {
     (void)dim;
     return nullptr;
   }
+
+  /// Downcast hook: the packed block store returns itself, every other
+  /// backend nullptr. Lets ReverseTop1 opt into the impact-ordered
+  /// block traversal without RTTI.
+  virtual PackedFunctionStore* packed() { return nullptr; }
 };
 
 /// Immutable in-memory sorted-list index over F's effective coefficients.

@@ -44,11 +44,19 @@ ReverseTop1::ReverseTop1(FunctionIndexBase* index, ReverseTop1Options options)
     raw_lists_[d] = index_->RawList(d);
     if (raw_lists_[d] == nullptr) all_raw = false;
   }
+  packed_ = index_->packed();
+  use_impact_ = options_.impact_ordered && packed_ != nullptr;
+  // Scan cursors advance in blocks under the impact-ordered traversal,
+  // in entries otherwise.
+  scan_limit_ = use_impact_ ? packed_->num_blocks() : index_->size();
+  if (use_impact_) scratch_fids_.resize(packed_->block_entries());
   // The incremental frontier/gains/threshold caches pay for themselves
   // only when biased probing consults the gains every iteration;
   // round-robin invalidates the threshold on almost every probe and
-  // never reads the gains, so it keeps the seed's direct scans.
-  use_caches_ = all_raw && options_.biased_probing;
+  // never reads the gains, so it keeps the seed's direct scans. The
+  // packed store is memory-resident too (zero counted I/O), so it takes
+  // the same cached path as FunctionLists.
+  use_caches_ = (all_raw || packed_ != nullptr) && options_.biased_probing;
   use_seen_epoch_ = !options_.resume;
 }
 
@@ -84,12 +92,12 @@ void ReverseTop1::Reset(ReverseTop1State* state, const Point& o) const {
     state->frontier_.assign(dims, 0.0);
     state->gains_.assign(dims, -1.0);
     for (int d = 0; d < dims; ++d) {
-      if (n == 0) continue;
-      state->frontier_[d] = raw_lists_[d][0].first;
+      if (scan_limit_ == 0) continue;
+      state->frontier_[d] = FrontierValue(d, 0);
       state->gains_[d] = state->frontier_[d] * o[d];
     }
     state->best_gain_dim_ =
-        BestGainDim(state->positions_, state->gains_, n);
+        BestGainDim(state->positions_, state->gains_, scan_limit_);
     state->threshold_valid_ = false;
   }
   state->initialized = true;
@@ -97,20 +105,19 @@ void ReverseTop1::Reset(ReverseTop1State* state, const Point& o) const {
 
 void ReverseTop1::RefreshFrontier(ReverseTop1State* state, const Point& o,
                                   int d) const {
-  const int n = index_->size();
   const int pos = state->positions_[d];
-  if (pos >= n) {
+  if (pos >= scan_limit_) {
     // List exhausted: drop it from the gains and force a threshold
     // recomputation (the knapsack result flips to "no unseen function").
     state->gains_[d] = -1.0;
     state->threshold_valid_ = false;
     if (state->best_gain_dim_ == d) {
       state->best_gain_dim_ =
-          BestGainDim(state->positions_, state->gains_, n);
+          BestGainDim(state->positions_, state->gains_, scan_limit_);
     }
     return;
   }
-  const double l = raw_lists_[d][pos].first;
+  const double l = FrontierValue(d, pos);
   if (l == state->frontier_[d]) return;  // duplicate coefficient: no-op
   state->frontier_[d] = l;
   state->gains_[d] = l * o[d];
@@ -119,7 +126,8 @@ void ReverseTop1::RefreshFrontier(ReverseTop1State* state, const Point& o,
   // only when the probed dimension was the argmax (ties resolve to the
   // smallest dimension, which a decrease elsewhere cannot disturb).
   if (state->best_gain_dim_ == d) {
-    state->best_gain_dim_ = BestGainDim(state->positions_, state->gains_, n);
+    state->best_gain_dim_ =
+        BestGainDim(state->positions_, state->gains_, scan_limit_);
   }
 }
 
@@ -128,7 +136,6 @@ double ReverseTop1::TightThreshold(ReverseTop1State* state, const Point& o) {
   // every list, so its coefficient in dim d is bounded by the next
   // unread value l_d. Maximize sum beta_d * o_d subject to beta_d <= l_d
   // and sum beta_d = B (fractional knapsack, Section 5.1).
-  const int n = index_->size();
   if (use_caches_ && state->threshold_valid_) return state->cached_threshold_;
   double budget = index_->max_gamma();
   double threshold = 0.0;
@@ -137,13 +144,13 @@ double ReverseTop1::TightThreshold(ReverseTop1State* state, const Point& o) {
     int pos = state->positions_[d];
     // Exhausted list: every function was seen there; no unseen function
     // exists, so the threshold over unseen functions is -infinity.
-    if (pos >= n) {
+    if (pos >= scan_limit_) {
       threshold = -1.0;
       break;
     }
     // Cached frontier on the memory-resident path; a counted list read
     // on the disk path (whose access sequence must stay as-is).
-    double l = use_caches_ ? state->frontier_[d] : EntryAt(d, pos).first;
+    double l = use_caches_ ? state->frontier_[d] : FrontierValue(d, pos);
     double beta = std::min(budget, l);
     threshold += beta * o[d];
     budget -= beta;
@@ -157,12 +164,11 @@ double ReverseTop1::TightThreshold(ReverseTop1State* state, const Point& o) {
 
 int ReverseTop1::PickList(const ReverseTop1State& state, const Point& o) {
   const int dims = index_->dims();
-  const int n = index_->size();
   if (!options_.biased_probing) {
     // Round-robin over non-exhausted lists.
     for (int step = 0; step < dims; ++step) {
       int d = (state.round_robin_next_ + step) % dims;
-      if (state.positions_[d] < n) return d;
+      if (state.positions_[d] < scan_limit_) return d;
     }
     return -1;
   }
@@ -172,8 +178,8 @@ int ReverseTop1::PickList(const ReverseTop1State& state, const Point& o) {
   double best_gain = -1.0;
   for (int d = 0; d < dims; ++d) {
     int pos = state.positions_[d];
-    if (pos >= n) continue;
-    double gain = EntryAt(d, pos).first * o[d];
+    if (pos >= scan_limit_) continue;
+    double gain = FrontierValue(d, pos) * o[d];
     if (gain > best_gain) {
       best_gain = gain;
       best = d;
@@ -234,9 +240,27 @@ std::optional<std::pair<FunctionId, double>> ReverseTop1::Best(
       continue;
     }
 
-    // Probe one entry of list d.
+    // Probe list d: one whole packed block under the impact-ordered
+    // traversal, one entry otherwise.
     int pos = state->positions_[d]++;
     state->round_robin_next_ = (d + 1) % index_->dims();
+    if (use_impact_) {
+      const int count = packed_->DecodeBlock(d, pos, scratch_fids_.data());
+      probes_ += count;
+      if (use_caches_) RefreshFrontier(state, o, d);
+      for (int i = 0; i < count; ++i) {
+        const FunctionId fid = scratch_fids_[i];
+        if (Seen(*state, fid)) continue;
+        MarkSeen(state, fid);
+        if (assigned[fid]) continue;
+        const double score = index_->ScoreOf(fid, o);
+        state->queue_.Push(ScoredCandidate{score, fid});
+        if (static_cast<int>(state->queue_.size()) > state->omega_left_) {
+          state->queue_.PopWorst();
+        }
+      }
+      continue;
+    }
     probes_++;
     FunctionId fid = EntryAt(d, pos).second;
     if (use_caches_) RefreshFrontier(state, o, d);

@@ -37,6 +37,7 @@
 #include "fairmatch/common/minmax_heap.h"
 #include "fairmatch/common/preference.h"
 #include "fairmatch/topk/function_lists.h"
+#include "fairmatch/topk/packed_function_lists.h"
 
 namespace fairmatch {
 
@@ -49,6 +50,14 @@ struct ReverseTop1Options {
   /// Resume searches across calls; false = restart every time (used by
   /// the ablation bench).
   bool resume = true;
+  /// Impact-ordered block traversal: when the index is a
+  /// PackedFunctionStore, probes consume whole packed blocks in
+  /// descending max-impact order and a list stops contributing as soon
+  /// as its next block's max impact falls under the knapsack threshold.
+  /// The threshold/frontier caches are reused verbatim with block max
+  /// impacts standing in for frontier coefficients. Ignored (plain
+  /// entry-at-a-time TA) for non-packed indexes.
+  bool impact_ordered = false;
 };
 
 /// Candidate queue item: (score, fid), ordered best-first.
@@ -279,6 +288,17 @@ class ReverseTop1 {
     return raw != nullptr ? raw[pos] : index_->Entry(dim, pos);
   }
 
+  /// Upper bound on the coefficient of any unseen function in list
+  /// `dim` once the scan cursor is at `pos`: the next unread entry's
+  /// coefficient, or — impact-ordered — the next unconsumed block's max
+  /// impact (every entry of a consumed block is marked seen, so an
+  /// unseen function sits in a later block).
+  double FrontierValue(int dim, int pos) const {
+    if (use_impact_) return packed_->BlockMaxImpact(dim, pos);
+    const auto* raw = raw_lists_[dim];
+    return raw != nullptr ? raw[pos].first : index_->Entry(dim, pos).first;
+  }
+
   bool Seen(const ReverseTop1State& state, FunctionId fid) const {
     if (use_seen_epoch_) return state.seen_gen_[fid] == state.gen_;
     return (state.seen_bits_[static_cast<size_t>(fid) >> 6] >>
@@ -297,6 +317,14 @@ class ReverseTop1 {
   FunctionIndexBase* index_;
   ReverseTop1Options options_;
   std::vector<const std::pair<double, FunctionId>*> raw_lists_;
+  // Set when the index is a PackedFunctionStore; use_impact_ adds
+  // options_.impact_ordered. Impact-ordered scans advance positions_ in
+  // BLOCK units and scan_limit_ is the per-list block count; otherwise
+  // positions are entry indexes and the limit is |F|.
+  PackedFunctionStore* packed_ = nullptr;
+  bool use_impact_ = false;
+  int scan_limit_ = 0;
+  std::vector<int32_t> scratch_fids_;  // one-block decode buffer
   // True when every list is memory-resident AND probing is biased: the
   // state caches frontier/gains/threshold and updates them per probe.
   bool use_caches_ = false;

@@ -122,6 +122,59 @@ INSTANTIATE_TEST_SUITE_P(
       return name + (info.param.disk_resident_functions ? "_diskF" : "");
     });
 
+// The packed-function setting gets the same guarantee, in both image
+// modes: lane placement and the in-memory/mmap switch must not change
+// any per-item number.
+TEST(BatchDeterminismTest, PackedBackendsAreLaneCountInvariant) {
+  for (const char* matcher : {"SB-Packed", "SB-alt-Packed"}) {
+    BatchProblemSpec spec = SmallSpec(33000);
+    spec.packed_functions = true;
+    spec.max_gamma = 3;
+    const int kCount = 10;
+
+    std::vector<ItemFingerprint> direct;
+    for (int i = 0; i < kCount; ++i) {
+      direct.push_back(Fingerprint(
+          RunGeneratedInstance(matcher, spec, static_cast<size_t>(i))));
+    }
+    for (const bool mmap_mode : {false, true}) {
+      spec.packed_mmap = mmap_mode;
+      for (const int threads : {1, 2, 8}) {
+        BatchRunner runner(threads);
+        const BatchResult result = runner.RunGenerated(matcher, spec, kCount);
+        ASSERT_EQ(result.items.size(), static_cast<size_t>(kCount));
+        for (int i = 0; i < kCount; ++i) {
+          EXPECT_TRUE(Fingerprint(result.items[i]) == direct[i])
+              << matcher << " item " << i << " at threads=" << threads
+              << " mmap=" << mmap_mode;
+        }
+      }
+    }
+  }
+}
+
+// Lanes recycle their workspace disk between items; running the same
+// instance on a heavily used workspace must be observably identical to
+// a fresh-storage direct run, in both storage layouts that attach to
+// the lane disk.
+TEST(BatchDeterminismTest, RecycledWorkspaceMatchesFreshStorage) {
+  LaneWorkspace ws;
+  for (const bool disk_resident : {false, true}) {
+    BatchProblemSpec spec = SmallSpec(34000);
+    spec.disk_resident_functions = disk_resident;
+    spec.max_gamma = 3;
+    for (int i = 0; i < 6; ++i) {
+      const ItemFingerprint fresh = Fingerprint(
+          RunGeneratedInstance("SB", spec, static_cast<size_t>(i)));
+      const ItemFingerprint reused = Fingerprint(
+          RunGeneratedInstance("SB", spec, static_cast<size_t>(i), &ws));
+      EXPECT_TRUE(fresh == reused)
+          << "item " << i << " diskF=" << disk_resident
+          << " diverged on a recycled workspace";
+    }
+  }
+}
+
 // Simulated I/O latency slows items down but must not change a bit of
 // their output — it only changes where wall time goes.
 TEST(BatchDeterminismTest, IoLatencyDoesNotChangeResults) {

@@ -89,8 +89,10 @@ TEST_F(BenchDriverTest, RegistryHasAllBuiltinFigures) {
       "fig17_disk_functions",
       "micro_bbs",
       "micro_buffer_pool",
+      "micro_packed_probe",
       "micro_reverse_top1",
       "micro_simd_score",
+      "scale_sweep",
   };
   EXPECT_EQ(FigureRegistry::Global().Names(), expected);
   for (const std::string& name : expected) {

@@ -13,6 +13,7 @@
 #include "fairmatch/assign/naive_matcher.h"
 #include "fairmatch/engine/registry.h"
 #include "fairmatch/topk/disk_function_lists.h"
+#include "fairmatch/topk/packed_function_lists.h"
 #include "test_util.h"
 
 namespace fairmatch {
@@ -28,10 +29,12 @@ TEST(RegistryTest, MatcherNameMatchesRegistryKey) {
   AssignmentProblem problem = RandomProblem(spec);
   MemTree mem(problem);
   DiskFunctionStore fstore(problem.functions, 0.02);
+  PackedFunctionStore pstore(problem.functions, PackedStoreOptions{});
   MatcherEnv env;
   env.problem = &problem;
   env.tree = &mem.tree;
   env.fn_store = &fstore;
+  env.packed_fns = &pstore;
   for (const std::string& name : MatcherRegistry::Global().Names()) {
     auto matcher = MatcherRegistry::Global().Create(name, env);
     ASSERT_NE(matcher, nullptr) << name;

@@ -453,5 +453,130 @@ TEST(SkylineSetPropertyTest, DominatorProbesMatchBruteForce) {
   }
 }
 
+TEST(SimdKernelTest, KnapsackBoundsMatchesScalarBitExactly) {
+  Rng rng(603);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int dims = 1 + static_cast<int>(rng.UniformInt(0, kMaxDims - 1));
+    const int rows = 1 + static_cast<int>(rng.UniformInt(0, 20));
+    const size_t stride = dims + rng.UniformInt(0, 3);
+    std::vector<float> pts(rows * stride, 0.0f);
+    for (float& v : pts) v = static_cast<float>(rng.Uniform(0.0, 1.0));
+    std::vector<int> orders(rows * stride, 0);
+    for (int m = 0; m < rows; ++m) {
+      int* order = orders.data() + m * stride;
+      for (int d = 0; d < dims; ++d) order[d] = d;
+      for (int d = dims - 1; d > 0; --d) {
+        std::swap(order[d], order[rng.UniformInt(0, d)]);
+      }
+    }
+    // Frontier values include negatives and exact zeros so every branch
+    // of the beta clamp (min/max/skip masking) is exercised.
+    std::vector<double> frontier(kMaxDims, 0.0);
+    for (int d = 0; d < dims; ++d) {
+      frontier[d] = rng.UniformInt(0, 4) == 0
+                        ? 0.0
+                        : rng.Uniform(-0.2, 0.8);
+    }
+    const int count = 1 + static_cast<int>(rng.UniformInt(0, 11));
+    std::vector<int> members(count);
+    for (int& m : members) m = static_cast<int>(rng.UniformInt(0, rows - 1));
+    const int skip_dim = static_cast<int>(rng.UniformInt(0, dims - 1));
+    const double coef = rng.Uniform(0.0, 1.0);
+    const double budget0 = rng.Uniform(0.0, 2.0);
+    std::vector<double> got(count, -1.0), want(count, -2.0);
+    simd::KnapsackBounds(pts.data(), orders.data(), stride, dims, skip_dim,
+                         coef, budget0, frontier.data(), members.data(),
+                         count, got.data());
+    simd::KnapsackBoundsScalar(pts.data(), orders.data(), stride, dims,
+                               skip_dim, coef, budget0, frontier.data(),
+                               members.data(), count, want.data());
+    for (int l = 0; l < count; ++l) {
+      ASSERT_EQ(got[l], want[l]) << "iter " << iter << " lane " << l;
+    }
+  }
+}
+
+// The batched kernel must reproduce the historical SB-alt per-member
+// fetch-worthiness loop (assign/sb_alt.cc before the SoA rewrite),
+// transcribed verbatim here, on its real domain (non-negative
+// frontiers): the `k == d || budget <= 0.0` continue and the kernel's
+// clamped beta are bitwise-identical paths there.
+TEST(SimdKernelTest, KnapsackBoundsMatchesLegacySbAltLoop) {
+  Rng rng(604);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int dims = 1 + static_cast<int>(rng.UniformInt(0, kMaxDims - 1));
+    const size_t stride = dims;
+    const int count = 1 + static_cast<int>(rng.UniformInt(0, 15));
+    std::vector<float> pts(count * stride, 0.0f);
+    for (float& v : pts) v = static_cast<float>(rng.Uniform(0.0, 1.0));
+    std::vector<int> orders(count * stride, 0);
+    std::vector<int> members(count);
+    for (int m = 0; m < count; ++m) {
+      members[m] = m;
+      int* order = orders.data() + m * stride;
+      for (int d = 0; d < dims; ++d) order[d] = d;
+      for (int d = dims - 1; d > 0; --d) {
+        std::swap(order[d], order[rng.UniformInt(0, d)]);
+      }
+    }
+    std::vector<double> frontier(kMaxDims, 0.0);
+    for (int d = 0; d < dims; ++d) frontier[d] = rng.Uniform(0.0, 1.0);
+    const int d = static_cast<int>(rng.UniformInt(0, dims - 1));
+    const double max_gamma = 1.0 + rng.UniformInt(0, 3);
+    const double coef = rng.Uniform(0.0, 1.0);
+    std::vector<double> got(count, -1.0);
+    simd::KnapsackBounds(pts.data(), orders.data(), stride, dims, d, coef,
+                         max_gamma - coef, frontier.data(), members.data(),
+                         count, got.data());
+    for (int m = 0; m < count; ++m) {
+      const float* pt = pts.data() + m * stride;
+      const int* order = orders.data() + m * stride;
+      double budget = max_gamma - coef;
+      double bound = coef * pt[d];
+      for (int j = 0; j < dims; ++j) {
+        const int k = order[j];
+        if (k == d || budget <= 0.0) continue;
+        double beta = std::min(budget, frontier[k]);
+        bound += beta * pt[k];
+        budget -= beta;
+      }
+      ASSERT_EQ(got[m], bound) << "iter " << iter << " member " << m;
+    }
+  }
+}
+
+TEST(SimdKernelTest, UnpackIdsMatchesScalarAndRoundTrips) {
+  Rng rng(605);
+  for (int iter = 0; iter < 400; ++iter) {
+    const int id_bytes = 1 << rng.UniformInt(0, 2);  // 1, 2 or 4
+    const int count = static_cast<int>(rng.UniformInt(0, 70));
+    const int32_t base = static_cast<int32_t>(rng.UniformInt(0, 1 << 20));
+    // base + delta must stay a valid (int32) function id, as it does in
+    // any real packed block.
+    const uint32_t max_delta = std::min<uint32_t>(
+        id_bytes == 4 ? 0x7fffffffu : (1u << (8 * id_bytes)) - 1,
+        static_cast<uint32_t>(0x7fffffff - base));
+    std::vector<int32_t> ids(count);
+    std::vector<unsigned char> packed(
+        static_cast<size_t>(count) * id_bytes + 8, 0xee);
+    for (int i = 0; i < count; ++i) {
+      const uint32_t delta = static_cast<uint32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(max_delta)));
+      ids[i] = base + static_cast<int32_t>(delta);
+      for (int b = 0; b < id_bytes; ++b) {
+        packed[static_cast<size_t>(i) * id_bytes + b] =
+            static_cast<unsigned char>((delta >> (8 * b)) & 0xff);
+      }
+    }
+    std::vector<int32_t> got(count, -1), want(count, -2);
+    simd::UnpackIds(packed.data(), id_bytes, base, count, got.data());
+    simd::UnpackIdsScalar(packed.data(), id_bytes, base, count, want.data());
+    for (int i = 0; i < count; ++i) {
+      ASSERT_EQ(got[i], want[i]) << "iter " << iter << " i " << i;
+      ASSERT_EQ(got[i], ids[i]) << "iter " << iter << " i " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fairmatch

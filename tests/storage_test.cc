@@ -38,6 +38,33 @@ TEST(DiskManagerTest, FreePagesAreRecycled) {
   EXPECT_EQ(disk.num_pages(), 1);
 }
 
+// Recycle() must leave the manager observably identical to a freshly
+// constructed one — page ids restart at zero and reallocated pages come
+// back zeroed — while reusing the parked buffers (that reuse is what
+// BatchRunner lanes lean on between items).
+TEST(DiskManagerTest, RecycleRestartsIdsWithZeroedPages) {
+  DiskManager disk;
+  std::byte junk[kPageSize];
+  std::memset(junk, 0xCD, kPageSize);
+  for (int i = 0; i < 5; ++i) disk.WritePage(disk.AllocatePage(), junk);
+  disk.FreePage(2);  // a hole in the free list must not survive either
+  EXPECT_EQ(disk.num_pages(), 5);
+
+  disk.Recycle();
+  EXPECT_EQ(disk.num_pages(), 0);
+  EXPECT_EQ(disk.num_live_pages(), 0);
+  EXPECT_EQ(disk.spare_pages(), 4u);  // the freed page was already gone
+
+  PageId first = disk.AllocatePage();
+  EXPECT_EQ(first, 0);  // ids restart, not resume
+  EXPECT_EQ(disk.spare_pages(), 3u);  // served from the parked buffers
+  std::byte out[kPageSize];
+  disk.ReadPage(first, out);
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(out[i], std::byte{0}) << "byte " << i;
+  }
+}
+
 TEST(BufferPoolTest, MissThenHit) {
   DiskManager disk;
   PerfCounters counters;

@@ -15,6 +15,7 @@
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/rtree/rtree.h"
 #include "fairmatch/topk/disk_function_lists.h"
+#include "fairmatch/topk/packed_function_lists.h"
 
 namespace fairmatch::testing {
 
@@ -97,17 +98,21 @@ struct MemTree {
 /// Runs the registered matcher `name` on a fresh in-memory tree (safe
 /// for tree-mutating matchers). A disk-resident function store is built
 /// where the variant requires one, or for any variant when
-/// `force_disk_functions` is set (the Section 7.6 test setting).
-/// Instrumentation goes through `ctx` when given.
+/// `force_disk_functions` is set (the Section 7.6 test setting); a
+/// packed store (in-memory, or file-backed when `packed_mmap` is set)
+/// is built for variants that require that. Instrumentation goes
+/// through `ctx` when given.
 inline AssignResult RunRegisteredMatcher(const std::string& name,
                                          const AssignmentProblem& problem,
                                          ExecContext* ctx = nullptr,
                                          bool force_disk_functions = false,
-                                         double buffer_fraction = 0.02) {
+                                         double buffer_fraction = 0.02,
+                                         bool packed_mmap = false) {
   const MatcherInfo* info = MatcherRegistry::Global().Find(name);
   FAIRMATCH_CHECK(info != nullptr);
   MemTree mem(problem);
   std::unique_ptr<DiskFunctionStore> fstore;
+  std::unique_ptr<PackedFunctionStore> pstore;
   MatcherEnv env;
   env.problem = &problem;
   env.tree = &mem.tree;
@@ -118,6 +123,16 @@ inline AssignResult RunRegisteredMatcher(const std::string& name,
         problem.functions, buffer_fraction,
         ctx != nullptr ? &ctx->counters() : nullptr);
     env.fn_store = fstore.get();
+    if (ctx != nullptr) ctx->set_function_backend("disk");
+  }
+  if (info->needs_packed_functions) {
+    PackedStoreOptions popts;
+    popts.use_mmap = packed_mmap;
+    pstore = std::make_unique<PackedFunctionStore>(problem.functions, popts);
+    env.packed_fns = pstore.get();
+    if (ctx != nullptr) {
+      ctx->set_function_backend(pstore->mapped() ? "packed-mmap" : "packed");
+    }
   }
   std::unique_ptr<Matcher> matcher =
       MatcherRegistry::Global().Create(name, env);
