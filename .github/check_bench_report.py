@@ -113,6 +113,95 @@ def check_scale_sweep(rows):
                 )
 
 
+def check_serving_latency(rows):
+    """serving_latency carries the serving core's determinism guarantee
+    onto the report surface: every cell submits the same fixed request
+    sequence, so each algorithm's deterministic columns (io_accesses,
+    pairs, and the matching digest in loops) must be identical across
+    every lane count AND every arrival rate — only the latency columns
+    may move. The sweep must actually cover more than one lane count
+    and more than one rate, and the 'open' section must report both the
+    cold and warm open cost."""
+    rate_rows = [r for r in rows if r["section"].startswith("rate")]
+    open_rows = [r for r in rows if r["section"] == "open"]
+
+    sections = {r["section"] for r in rate_rows}
+    lanes = {r["x"] for r in rate_rows}
+    if len(sections) < 2:
+        fail(
+            f"serving_latency: {len(sections)} arrival-rate section(s); "
+            "expected a sweep over >= 2 rates"
+        )
+    if len(lanes) < 2:
+        fail(
+            f"serving_latency: {len(lanes)} lane count(s); expected a "
+            "sweep over >= 2 lane counts"
+        )
+
+    expected_algos = {
+        "SB", "SB:p99", "SB-Packed", "SB-Packed:p99",
+        "SB-alt", "SB-alt:p99", "mix:throughput",
+    }
+    by_cell = {}
+    for row in rate_rows:
+        by_cell.setdefault((row["section"], row["x"]), set()).add(
+            row["algorithm"]
+        )
+    for cell, algos in by_cell.items():
+        missing = expected_algos - algos
+        if missing:
+            fail(
+                f"serving_latency: cell {cell} is missing rows "
+                f"{sorted(missing)}"
+            )
+
+    by_algo = {}
+    for row in rate_rows:
+        by_algo.setdefault(row["algorithm"], []).append(row)
+    for algo, algo_rows in by_algo.items():
+        baseline = algo_rows[0]
+        for row in algo_rows[1:]:
+            for field in ("io_accesses", "pairs", "loops"):
+                if row[field] != baseline[field]:
+                    fail(
+                        f"serving_latency: {algo!r} {field} differs across "
+                        f"cells ({baseline[field]} at "
+                        f"{baseline['section']}/x={baseline['x']} vs "
+                        f"{row[field]} at {row['section']}/x={row['x']}): "
+                        "the serving core is not lane/arrival-rate "
+                        "deterministic"
+                    )
+        if algo != "mix:throughput" and baseline["loops"] == 0:
+            fail(
+                f"serving_latency: {algo!r} carries an empty matching "
+                "digest (loops=0): the responses were empty"
+            )
+
+    # The p50 and p99 rows of one matcher come from the same responses.
+    for algo in ("SB", "SB-Packed", "SB-alt"):
+        base, p99 = by_algo[algo][0], by_algo[f"{algo}:p99"][0]
+        for field in ("io_accesses", "pairs", "loops"):
+            if base[field] != p99[field]:
+                fail(
+                    f"serving_latency: {algo!r} and {algo}:p99 disagree on "
+                    f"{field} ({base[field]} vs {p99[field]}): the rows do "
+                    "not describe the same request set"
+                )
+
+    opens = {r["x"] for r in open_rows}
+    if opens != {"cold", "warm"}:
+        fail(
+            f"serving_latency: open section covers {sorted(opens)}; "
+            "expected exactly ['cold', 'warm']"
+        )
+    cold = next(r for r in open_rows if r["x"] == "cold")
+    if cold["mem_mb"] <= 0:
+        fail(
+            "serving_latency: cold open reports a zero resident "
+            "footprint; the dataset was not built"
+        )
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} REPORT.json FAIRMATCH_BENCH_BINARY")
@@ -161,6 +250,7 @@ def main():
     check_batch_figure(report["figures"].get("batch_throughput", []))
     check_micro_packed_probe(report["figures"].get("micro_packed_probe", []))
     check_scale_sweep(report["figures"].get("scale_sweep", []))
+    check_serving_latency(report["figures"].get("serving_latency", []))
 
     print(
         f"check_bench_report: OK — {len(reported)} figures, {rows} rows, "

@@ -23,6 +23,9 @@ std::string g_scale_override;
 /// --threads / --batch state for the batch_throughput figure.
 BatchBenchParams g_batch_params;
 
+/// --serve-lanes / --arrival / --requests state for serving_latency.
+ServeBenchParams g_serve_params;
+
 bool KnownScale(const char* name) {
   return std::strcmp(name, "paper") == 0 || std::strcmp(name, "quick") == 0 ||
          std::strcmp(name, "smoke") == 0;
@@ -66,6 +69,12 @@ void SetBatchBenchParams(BatchBenchParams params) {
 }
 
 const BatchBenchParams& GetBatchBenchParams() { return g_batch_params; }
+
+void SetServeBenchParams(ServeBenchParams params) {
+  g_serve_params = std::move(params);
+}
+
+const ServeBenchParams& GetServeBenchParams() { return g_serve_params; }
 
 bool SameProblemInputs(const BenchConfig& a, const BenchConfig& b) {
   return a.num_functions == b.num_functions &&

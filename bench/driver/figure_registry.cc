@@ -9,6 +9,7 @@ void RegisterBuiltinFigures(FigureRegistry* registry);
 void RegisterMicroFigures(FigureRegistry* registry);
 void RegisterBatchFigure(FigureRegistry* registry);
 void RegisterPackedFigures(FigureRegistry* registry);
+void RegisterServeFigure(FigureRegistry* registry);
 
 FigureRegistry& FigureRegistry::Global() {
   static FigureRegistry* registry = [] {
@@ -17,6 +18,7 @@ FigureRegistry& FigureRegistry::Global() {
     RegisterMicroFigures(r);
     RegisterBatchFigure(r);
     RegisterPackedFigures(r);
+    RegisterServeFigure(r);
     return r;
   }();
   return *registry;

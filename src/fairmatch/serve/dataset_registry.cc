@@ -1,0 +1,94 @@
+#include "fairmatch/serve/dataset_registry.h"
+
+#include <utility>
+
+#include "fairmatch/common/timer.h"
+
+namespace fairmatch::serve {
+
+ResidentDataset::ResidentDataset(std::string name, AssignmentProblem problem,
+                                 const DatasetOptions& options)
+    : name_(std::move(name)),
+      problem_(std::move(problem)),
+      store_(problem_.dims),
+      tree_(&store_) {
+  Timer timer;
+  BuildObjectTree(problem_, &tree_, options.fill_factor);
+  if (options.build_packed && !problem_.functions.empty()) {
+    PackedStoreOptions popts;
+    popts.use_mmap = options.packed_mmap;
+    popts.block_entries = options.packed_block_entries;
+    packed_ =
+        std::make_unique<PackedFunctionStore>(problem_.functions, popts);
+  }
+  build_ms_ = timer.ElapsedMs();
+}
+
+size_t ResidentDataset::memory_bytes() const {
+  size_t bytes = store_.memory_bytes();
+  if (packed_ != nullptr) bytes += packed_->footprint_bytes();
+  return bytes;
+}
+
+DatasetHandle DatasetRegistry::Open(const std::string& name,
+                                    const AssignmentProblem& problem,
+                                    const DatasetOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it != datasets_.end()) {
+      ++warm_opens_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: a cold open of a big dataset must not
+  // stall warm opens and Finds on other names. If two threads race a
+  // cold open of the same name, the first insert wins and the loser's
+  // build is discarded (both get the winner's handle).
+  auto dataset =
+      std::make_shared<const ResidentDataset>(name, problem, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
+  if (inserted) {
+    ++cold_opens_;
+  } else {
+    ++warm_opens_;
+  }
+  return it->second;
+}
+
+DatasetHandle DatasetRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+ServeStatus DatasetRegistry::Close(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return ServeStatus::NotFound("dataset '" + name + "' is not resident");
+  }
+  datasets_.erase(it);  // outstanding handles keep the dataset alive
+  return ServeStatus::Ok();
+}
+
+std::vector<std::string> DatasetRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+int64_t DatasetRegistry::warm_opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warm_opens_;
+}
+
+int64_t DatasetRegistry::cold_opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cold_opens_;
+}
+
+}  // namespace fairmatch::serve

@@ -1,0 +1,145 @@
+// Resident datasets for the serving layer: build once, serve many.
+//
+// The paper's design premise is that the expensive structures — the
+// object R-tree and the function index — are built once and then answer
+// many preference queries. DatasetRegistry is that inverse sharing
+// model (the DBImpl open/close lifecycle shape): Open() turns a Problem
+// into a ResidentDataset (objects bulk-loaded into an R-tree over a
+// MemNodeStore, functions packed into an immutable PackedFunctionStore
+// image, in memory or mmap-attached), and every subsequent open of the
+// same name shares the warm structures instead of rebuilding them.
+//
+// Concurrency contract (per the PR 4 audits in rtree/rtree.h,
+// rtree/node_store.h and topk/packed_function_lists.h): everything a
+// ResidentDataset exposes is immutable after Open() — MemNodeStore
+// reads are const-clean, the tree is never mutated (the server refuses
+// mutates_tree matchers a shared tree), and the packed image is probed
+// through per-request shared views. Any number of server lanes may
+// therefore read one dataset concurrently with no locking.
+//
+// Lifecycle: handles are refcounts. The registry map holds one
+// reference; Close() drops it, but the dataset stays alive until the
+// last outstanding handle (an in-flight request, a caller) releases
+// it — closing a dataset under live traffic is safe by construction.
+#ifndef FAIRMATCH_SERVE_DATASET_REGISTRY_H_
+#define FAIRMATCH_SERVE_DATASET_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/rtree/node_store.h"
+#include "fairmatch/rtree/rtree.h"
+#include "fairmatch/serve/status.h"
+#include "fairmatch/topk/packed_function_lists.h"
+
+namespace fairmatch::serve {
+
+/// Build knobs for one resident dataset.
+struct DatasetOptions {
+  /// Build the packed function image (required to serve the *-Packed
+  /// variants). Off saves the build for datasets that only serve the
+  /// in-memory-list matchers.
+  bool build_packed = true;
+
+  /// Route the packed image through a file + read-only mapping instead
+  /// of the in-memory buffer (PackedStoreOptions::use_mmap).
+  bool packed_mmap = false;
+
+  /// Entries per packed block (PackedStoreOptions::block_entries).
+  int packed_block_entries = 128;
+
+  /// R-tree bulk-load fill factor.
+  double fill_factor = 0.7;
+};
+
+/// One warm, immutable index set over one problem instance. Construct
+/// through DatasetRegistry::Open; read-only thereafter.
+class ResidentDataset {
+ public:
+  ResidentDataset(std::string name, AssignmentProblem problem,
+                  const DatasetOptions& options);
+
+  ResidentDataset(const ResidentDataset&) = delete;
+  ResidentDataset& operator=(const ResidentDataset&) = delete;
+
+  const std::string& name() const { return name_; }
+  const AssignmentProblem& problem() const { return problem_; }
+
+  /// The shared object tree. Non-const because matcher environments
+  /// take RTree* — the server only hands it to matchers whose info
+  /// says they never mutate it.
+  RTree* tree() const { return &tree_; }
+
+  /// The resident packed image, or nullptr when the dataset was opened
+  /// with build_packed = false. Never probe this store directly from a
+  /// request lane — take a view (PackedFunctionStore::NewSharedView).
+  const PackedFunctionStore* packed() const { return packed_.get(); }
+
+  /// Wall time Open() spent building the structures (the cold-open
+  /// cost; warm opens pay none of it).
+  double build_ms() const { return build_ms_; }
+
+  /// Resident footprint: tree pages plus the packed image.
+  size_t memory_bytes() const;
+
+ private:
+  std::string name_;
+  AssignmentProblem problem_;
+  mutable MemNodeStore store_;
+  mutable RTree tree_;
+  std::unique_ptr<PackedFunctionStore> packed_;
+  double build_ms_ = 0.0;
+};
+
+/// Shared ownership of a resident dataset. Copying shares; the dataset
+/// is destroyed when the registry entry and every handle are gone.
+using DatasetHandle = std::shared_ptr<const ResidentDataset>;
+
+/// Name-keyed registry of resident datasets. All methods are
+/// thread-safe (one mutex; builds happen outside hot paths).
+class DatasetRegistry {
+ public:
+  DatasetRegistry() = default;
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Opens dataset `name`. Cold path: builds the resident structures
+  /// from `problem` (copied in). Warm path: `name` is already resident,
+  /// the existing structures are shared and `problem`/`options` are
+  /// ignored. Returns the handle either way.
+  DatasetHandle Open(const std::string& name, const AssignmentProblem& problem,
+                     const DatasetOptions& options = {});
+
+  /// The resident dataset `name`, or nullptr. Shares (refcount++ for
+  /// the caller) without ever building.
+  DatasetHandle Find(const std::string& name) const;
+
+  /// Drops the registry's reference. Outstanding handles (in-flight
+  /// requests) keep the dataset alive; a later Open() of the same name
+  /// builds fresh structures. Returns NotFound if `name` is not
+  /// resident.
+  ServeStatus Close(const std::string& name);
+
+  /// Names of the resident datasets, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Total opens that found the dataset already resident.
+  int64_t warm_opens() const;
+  /// Total opens that built the dataset.
+  int64_t cold_opens() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ResidentDataset>> datasets_;
+  int64_t warm_opens_ = 0;
+  int64_t cold_opens_ = 0;
+};
+
+}  // namespace fairmatch::serve
+
+#endif  // FAIRMATCH_SERVE_DATASET_REGISTRY_H_

@@ -1,0 +1,277 @@
+#include "fairmatch/serve/server.h"
+
+#include <optional>
+#include <utility>
+
+#include "fairmatch/common/check.h"
+#include "fairmatch/common/timer.h"
+#include "fairmatch/engine/registry.h"
+#include "fairmatch/topk/disk_function_lists.h"
+
+namespace fairmatch::serve {
+
+/// Shared completion state behind a ResponseFuture.
+struct ResponseFuture::State {
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  Response response;
+
+  void Complete(Response&& r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      response = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+bool ResponseFuture::done() const {
+  FAIRMATCH_CHECK(state_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+const Response& ResponseFuture::Wait() const {
+  FAIRMATCH_CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->response;
+}
+
+/// One admitted request queued for a lane. The dataset handle pins the
+/// resident structures for the request's whole life, which is what
+/// makes DatasetRegistry::Close safe under in-flight traffic.
+struct Server::Pending {
+  Request request;
+  DatasetHandle dataset;
+  std::shared_ptr<ResponseFuture::State> state;
+  uint64_t id = 0;
+  /// Started at admission; read once at pickup (queue_ms) and once at
+  /// completion (total_ms).
+  Timer since_submit;
+};
+
+Server::Server(DatasetRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(options) {
+  FAIRMATCH_CHECK(registry_ != nullptr);
+  if (options_.lanes < 1) options_.lanes = 1;
+  if (options_.max_inflight == 0) {
+    options_.max_inflight =
+        options_.max_queue + static_cast<size_t>(options_.lanes);
+  }
+  // Touch the registry before spawning lanes so its lazy builtin
+  // registration happens once, off the serving path.
+  MatcherRegistry::Global();
+  workspaces_.reserve(static_cast<size_t>(options_.lanes));
+  lanes_.reserve(static_cast<size_t>(options_.lanes));
+  for (int i = 0; i < options_.lanes; ++i) {
+    workspaces_.push_back(std::make_unique<LaneWorkspace>());
+    LaneWorkspace* workspace = workspaces_.back().get();
+    lanes_.emplace_back([this, workspace] { LaneLoop(workspace); });
+  }
+}
+
+Server::~Server() { Close(); }
+
+ServeStatus Server::AdmissionStatus() const {
+  if (draining_) {
+    return ServeStatus::Unavailable("server is draining");
+  }
+  if (queue_.size() >= options_.max_queue) {
+    return ServeStatus::Overloaded("admission queue is full (" +
+                                   std::to_string(options_.max_queue) +
+                                   " queued)");
+  }
+  if (inflight_ >= options_.max_inflight) {
+    return ServeStatus::Overloaded("in-flight cap reached (" +
+                                   std::to_string(options_.max_inflight) +
+                                   " accepted)");
+  }
+  return ServeStatus::Ok();
+}
+
+ServeStatus Server::Validate(const Request& request,
+                             DatasetHandle* dataset) const {
+  const MatcherInfo* info = MatcherRegistry::Global().Find(request.matcher);
+  if (info == nullptr) {
+    return ServeStatus::NotFound("unknown matcher '" + request.matcher + "'");
+  }
+  if (request.buffer_fraction < 0.0 || request.buffer_fraction > 1.0) {
+    return ServeStatus::InvalidArgument(
+        "buffer_fraction must be in [0, 1], got " +
+        std::to_string(request.buffer_fraction));
+  }
+  *dataset = registry_->Find(request.dataset);
+  if (*dataset == nullptr) {
+    return ServeStatus::NotFound("unknown dataset '" + request.dataset +
+                                 "'");
+  }
+  if (info->needs_packed_functions && (*dataset)->packed() == nullptr) {
+    return ServeStatus::FailedPrecondition(
+        "matcher '" + request.matcher + "' needs a packed image, but "
+        "dataset '" + request.dataset + "' was opened without one");
+  }
+  return ServeStatus::Ok();
+}
+
+ResponseFuture Server::Submit(Request request) {
+  auto state = std::make_shared<ResponseFuture::State>();
+
+  // Reject with a completed future: the caller never blocks to learn
+  // that a request was not admitted.
+  auto reject = [&state](ServeStatus status) {
+    Response response;
+    response.status = std::move(status);
+    state->Complete(std::move(response));
+    return ResponseFuture(state);
+  };
+
+  DatasetHandle dataset;
+  ServeStatus status = Validate(request, &dataset);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.rejected;
+    return reject(std::move(status));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status = AdmissionStatus();
+    if (!status.ok()) {
+      ++counters_.rejected;
+      return reject(std::move(status));
+    }
+    auto pending = std::make_unique<Pending>();
+    pending->request = std::move(request);
+    pending->dataset = std::move(dataset);
+    pending->state = state;
+    pending->id = next_id_++;
+    queue_.push_back(std::move(pending));
+    ++inflight_;
+    ++counters_.accepted;
+  }
+  work_cv_.notify_one();
+  return ResponseFuture(state);
+}
+
+Response Server::Execute(Request request) {
+  return Submit(std::move(request)).Wait();
+}
+
+void Server::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& lane : lanes_) lane.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  joined_ = true;
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void Server::LaneLoop(LaneWorkspace* workspace) {
+  for (;;) {
+    std::unique_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining with an empty queue
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(pending.get(), workspace);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      ++counters_.completed;
+    }
+  }
+}
+
+void Server::Process(Pending* pending, LaneWorkspace* workspace) {
+  Response response;
+  response.request_id = pending->id;
+  response.queue_ms = pending->since_submit.ElapsedMs();
+
+  const Request& request = pending->request;
+  const ResidentDataset& dataset = *pending->dataset;
+  // Re-resolved, not cached from Submit: re-registration (tests stub
+  // variants) must not leave a dangling info pointer in the queue.
+  const MatcherInfo* info = MatcherRegistry::Global().Find(request.matcher);
+
+  Timer exec_timer;
+  if (info == nullptr) {
+    // The matcher disappeared between Submit and pickup (only possible
+    // through test re-registration); typed error, not a CHECK.
+    response.status = ServeStatus::NotFound("matcher '" + request.matcher +
+                                            "' is no longer registered");
+  } else {
+    // Per-request execution state over the shared dataset, mirroring
+    // engine/batch_runner.h's per-item isolation: private ExecContext,
+    // private disk structures on the lane's recycled workspace,
+    // private packed-image view, and — for tree-mutating matchers — a
+    // private tree, so the resident one stays immutable.
+    workspace->Recycle();
+    ExecContext ctx;
+    MatcherEnv env;
+    env.problem = &dataset.problem();
+    env.tree = dataset.tree();
+    env.buffer_fraction = request.buffer_fraction;
+    env.ctx = &ctx;
+
+    std::optional<MemNodeStore> private_store;
+    std::optional<RTree> private_tree;
+    if (info->mutates_tree) {
+      private_store.emplace(dataset.problem().dims);
+      private_tree.emplace(&*private_store);
+      BuildObjectTree(dataset.problem(), &*private_tree);
+      env.tree = &*private_tree;
+    }
+
+    std::optional<DiskFunctionStore> fstore;
+    if (info->needs_disk_functions || request.disk_resident_functions) {
+      fstore.emplace(dataset.problem().functions, request.buffer_fraction,
+                     &ctx.counters(), &workspace->disk());
+      env.fn_store = &*fstore;
+      ctx.set_function_backend("disk");
+    }
+
+    std::unique_ptr<PackedFunctionStore> packed_view;
+    if (info->needs_packed_functions) {
+      packed_view = PackedFunctionStore::NewSharedView(*dataset.packed());
+      env.packed_fns = packed_view.get();
+      ctx.set_function_backend(dataset.packed()->mapped() ? "packed-mmap"
+                                                          : "packed");
+    }
+
+    std::unique_ptr<Matcher> matcher =
+        MatcherRegistry::Global().Create(request.matcher, env);
+    if (matcher == nullptr) {
+      // Validate() checks every Create precondition, so this is
+      // unreachable today; kept as a typed error so a future
+      // requirement added to Create degrades to a rejected request
+      // instead of a crashed service.
+      response.status = ServeStatus::FailedPrecondition(
+          "matcher '" + request.matcher +
+          "' cannot run against dataset '" + request.dataset + "'");
+    } else {
+      AssignResult result = matcher->Run();
+      response.matching = std::move(result.matching);
+      response.stats = std::move(result.stats);
+    }
+  }
+
+  response.exec_ms = exec_timer.ElapsedMs();
+  response.total_ms = pending->since_submit.ElapsedMs();
+  pending->state->Complete(std::move(response));
+}
+
+}  // namespace fairmatch::serve

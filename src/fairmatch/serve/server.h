@@ -1,0 +1,202 @@
+// fairmatchd: a long-lived, in-process matching service core.
+//
+// Where BatchRunner (engine/batch_runner.h) executes one caller-owned
+// batch and returns, the Server is the inverse sharing model: warm,
+// immutable index sets (serve/dataset_registry.h) stay resident while
+// many concurrent clients submit Requests — {dataset, matcher,
+// options} — and get Responses — {matching, RunStats, queue/latency
+// timings, typed status} — back. No network is involved: this is the
+// engine-side core the way DBImpl is a database without a wire
+// protocol; a transport would sit on top.
+//
+// Execution model: `lanes` worker threads drain one bounded FIFO
+// admission queue. Each request runs with its own ExecContext and
+// whatever per-request structures its matcher needs (a packed-image
+// view, a disk-resident function store on the lane's recycled
+// DiskManager, a private tree for tree-mutating matchers); everything
+// else — problem, object tree, packed image — is shared const-clean
+// across lanes per the PR 4 concurrency contracts. The result contract
+// follows from that isolation: a response is byte-identical (matching,
+// io_accesses, pairs, loops) to a direct Matcher::Run() on the same
+// inputs, at any lane count and under any interleaving
+// (tests/serve_test.cc).
+//
+// Admission control: Submit() never blocks. A request is either
+// accepted (future completes when a lane finishes it) or rejected
+// immediately with a typed status — kOverloaded when the queue is full
+// or the in-flight cap is reached, kUnavailable after Close() started,
+// kNotFound / kFailedPrecondition / kInvalidArgument for bad requests.
+// Invalid input is never allowed to reach an engine CHECK: one bad
+// request cannot take down the service.
+//
+// Shutdown: Close() stops admitting, drains every accepted request,
+// then joins the lanes. Destruction closes.
+#ifndef FAIRMATCH_SERVE_SERVER_H_
+#define FAIRMATCH_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fairmatch/assign/problem.h"
+#include "fairmatch/engine/batch_runner.h"
+#include "fairmatch/serve/dataset_registry.h"
+#include "fairmatch/serve/status.h"
+
+namespace fairmatch::serve {
+
+/// Server construction knobs.
+struct ServerOptions {
+  /// Worker lanes draining the admission queue (clamped to >= 1).
+  int lanes = 2;
+
+  /// Admission bound: requests queued (accepted, not yet running).
+  /// A Submit() that would exceed it is rejected with kOverloaded.
+  size_t max_queue = 64;
+
+  /// Cap on accepted-but-unfinished requests (queued + running).
+  /// 0 = max_queue + lanes (the natural capacity).
+  size_t max_inflight = 0;
+};
+
+/// One client request against a resident dataset.
+struct Request {
+  /// Name of a dataset opened in the server's DatasetRegistry.
+  std::string dataset;
+
+  /// Name of a registered matcher (engine/registry.h). Tree-mutating
+  /// matchers (Chain) are served on a per-request private tree; the
+  /// shared resident tree is never mutated.
+  std::string matcher;
+
+  /// Run the Section 7.6 disk-resident-F setting: a per-request
+  /// DiskFunctionStore built on the lane's recycled disk (counted
+  /// I/O). Matchers whose info requires it get one regardless.
+  bool disk_resident_functions = false;
+
+  /// Buffer fraction for per-request disk structures.
+  double buffer_fraction = 0.02;
+};
+
+/// What the client gets back. On a non-OK status, matching/stats are
+/// empty and only the timings are meaningful.
+struct Response {
+  ServeStatus status;
+  Matching matching;
+  RunStats stats;
+
+  /// Milliseconds spent queued before a lane picked the request up.
+  double queue_ms = 0.0;
+  /// Milliseconds of lane execution (env assembly + Matcher::Run).
+  double exec_ms = 0.0;
+  /// End-to-end milliseconds from Submit() to completion.
+  double total_ms = 0.0;
+
+  /// Server-assigned id, increasing in admission order.
+  uint64_t request_id = 0;
+};
+
+/// Handle to an in-flight (or already-failed) request. Cheap to copy;
+/// all copies share the same response.
+class ResponseFuture {
+ public:
+  ResponseFuture() = default;
+
+  /// False for a default-constructed handle.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the response is ready (never blocks).
+  bool done() const;
+
+  /// Blocks until the response is ready, then returns it. The
+  /// reference stays valid as long as any copy of this future lives.
+  const Response& Wait() const;
+
+ private:
+  friend class Server;
+  struct State;
+  explicit ResponseFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Monotonic admission/completion counters (snapshot).
+struct ServerCounters {
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  int64_t completed = 0;
+};
+
+/// The serving core. Thread-safe: any number of threads may Submit()
+/// concurrently; Close() may race with submissions.
+class Server {
+ public:
+  /// Serves datasets resident in `registry` (not owned; must outlive
+  /// the server).
+  explicit Server(DatasetRegistry* registry, ServerOptions options = {});
+
+  /// Close()s, draining accepted requests.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+  DatasetRegistry* registry() const { return registry_; }
+
+  /// Validates and enqueues `request`. Never blocks: returns either an
+  /// accepted future or one already completed with the rejection
+  /// status.
+  ResponseFuture Submit(Request request);
+
+  /// Submit + Wait, for synchronous callers.
+  Response Execute(Request request);
+
+  /// Stops admitting (new Submits get kUnavailable), waits for every
+  /// accepted request to finish, joins the lanes. Idempotent.
+  void Close();
+
+  ServerCounters counters() const;
+
+ private:
+  struct Pending;
+
+  /// Admission check under mu_. Empty message = admit.
+  ServeStatus AdmissionStatus() const;
+
+  /// Static validation (names, matcher requirements) against the
+  /// registry; fills `dataset` on success.
+  ServeStatus Validate(const Request& request, DatasetHandle* dataset) const;
+
+  void LaneLoop(LaneWorkspace* workspace);
+
+  /// Executes one admitted request on a lane. Never CHECK-fails on
+  /// request content: everything reachable from client input was
+  /// validated at Submit().
+  void Process(Pending* pending, LaneWorkspace* workspace);
+
+  DatasetRegistry* registry_;
+  ServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool draining_ = false;
+  size_t inflight_ = 0;
+  uint64_t next_id_ = 1;
+  ServerCounters counters_;
+
+  std::vector<std::unique_ptr<LaneWorkspace>> workspaces_;
+  std::vector<std::thread> lanes_;
+  bool joined_ = false;
+};
+
+}  // namespace fairmatch::serve
+
+#endif  // FAIRMATCH_SERVE_SERVER_H_

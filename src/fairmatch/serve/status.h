@@ -1,0 +1,82 @@
+// Typed request-level statuses for the serving layer (fairmatchd).
+//
+// The engine underneath is exception-free and CHECK-fails on contract
+// violations — correct for a batch harness whose caller assembled every
+// input, fatal for a long-lived service where one bad request must not
+// take the process down. The server therefore validates requests up
+// front and reports failures as a ServeStatus inside the Response; the
+// engine's CHECKs are never reachable from client input.
+#ifndef FAIRMATCH_SERVE_STATUS_H_
+#define FAIRMATCH_SERVE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace fairmatch::serve {
+
+/// Request outcome classes, canonical-status style.
+enum class ServeCode {
+  kOk = 0,
+  /// Unknown dataset or matcher name.
+  kNotFound,
+  /// The request contradicts itself or the matcher's contract (e.g. a
+  /// non-positive timing knob).
+  kInvalidArgument,
+  /// The matcher's requirements are not satisfied by the resident
+  /// dataset (e.g. a *-Packed variant against a dataset opened without
+  /// a packed image).
+  kFailedPrecondition,
+  /// Admission control rejected the request: the bounded queue is full
+  /// or the in-flight cap is reached. Retry later.
+  kOverloaded,
+  /// The server is draining/closed; no new requests are accepted.
+  kUnavailable,
+};
+
+/// Status + human-readable detail. Default-constructed is OK.
+struct ServeStatus {
+  ServeCode code = ServeCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == ServeCode::kOk; }
+
+  static ServeStatus Ok() { return {}; }
+  static ServeStatus NotFound(std::string message) {
+    return {ServeCode::kNotFound, std::move(message)};
+  }
+  static ServeStatus InvalidArgument(std::string message) {
+    return {ServeCode::kInvalidArgument, std::move(message)};
+  }
+  static ServeStatus FailedPrecondition(std::string message) {
+    return {ServeCode::kFailedPrecondition, std::move(message)};
+  }
+  static ServeStatus Overloaded(std::string message) {
+    return {ServeCode::kOverloaded, std::move(message)};
+  }
+  static ServeStatus Unavailable(std::string message) {
+    return {ServeCode::kUnavailable, std::move(message)};
+  }
+};
+
+/// Stable identifier for logs/tests ("OK", "NOT_FOUND", ...).
+inline const char* ServeCodeName(ServeCode code) {
+  switch (code) {
+    case ServeCode::kOk:
+      return "OK";
+    case ServeCode::kNotFound:
+      return "NOT_FOUND";
+    case ServeCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ServeCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ServeCode::kOverloaded:
+      return "OVERLOADED";
+    case ServeCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace fairmatch::serve
+
+#endif  // FAIRMATCH_SERVE_STATUS_H_

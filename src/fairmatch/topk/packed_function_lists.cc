@@ -302,6 +302,19 @@ bool PackedFunctionStore::WriteFile(const FunctionSet& fns,
   return MmapFile::Write(path, image.get(), size, error);
 }
 
+std::unique_ptr<PackedFunctionStore> PackedFunctionStore::NewSharedView(
+    const PackedFunctionStore& base) {
+  FAIRMATCH_CHECK(base.data_ != nullptr);
+  std::unique_ptr<PackedFunctionStore> view(new PackedFunctionStore());
+  // The base already validated the image (constructor or Open); the
+  // view only re-derives its pointers and allocates private caches.
+  // Neither buffer_ nor file_ is populated: the view borrows the bytes.
+  std::string error;
+  FAIRMATCH_CHECK(view->Attach(base.data_, base.image_size_,
+                               /*verify_checksums=*/false, &error));
+  return view;
+}
+
 bool PackedFunctionStore::Attach(const std::byte* data, size_t size,
                                  bool verify_checksums, std::string* error) {
   const auto fail = [error](const char* what) {

@@ -80,8 +80,10 @@ struct PackedStoreOptions {
 /// Immutable packed function-list index over one function set.
 ///
 /// Thread safety: same single-lane rule as the other backends —
-/// Entry()/DecodeBlock() mutate the per-list decode cache. Batch items
-/// each build their own store.
+/// Entry() mutates the per-list decode cache. Batch items each build
+/// their own store; concurrent *requests* over one resident image each
+/// query through their own NewSharedView() instead (the image bytes
+/// are immutable, only the decode caches are per-view).
 class PackedFunctionStore : public FunctionIndexBase {
  public:
   /// Builds the packed image from `fns` (and mmaps it per `opts`).
@@ -99,6 +101,17 @@ class PackedFunctionStore : public FunctionIndexBase {
   /// constructing a queryable store.
   static bool WriteFile(const FunctionSet& fns, const std::string& path,
                         int block_entries = 128, std::string* error = nullptr);
+
+  /// A queryable view sharing `base`'s packed image: no byte copy, no
+  /// re-verification — only the view's private decode caches are
+  /// allocated. The image bytes themselves are immutable, so any number
+  /// of views (plus `base`) may be queried concurrently from different
+  /// lanes; the single-lane rule applies to each view individually.
+  /// This is what lets a resident dataset (serve/dataset_registry.h)
+  /// keep ONE image warm while every in-flight request probes it
+  /// through its own view. `base` must outlive the view.
+  static std::unique_ptr<PackedFunctionStore> NewSharedView(
+      const PackedFunctionStore& base);
 
   ~PackedFunctionStore() override;
 

@@ -1,0 +1,518 @@
+// The serving layer's headline guarantee: a Response from fairmatchd is
+// byte-identical (matching, io_accesses, pairs, loops) to a direct
+// Matcher::Run() on the same inputs — for every registered matcher, at
+// any lane count, under any request interleaving, over one shared
+// resident dataset. Also covered: admission control (bounded queue →
+// kOverloaded, drain completes every accepted request), the dataset
+// open/close refcount lifecycle (second open shares, close under
+// in-flight traffic is safe), and the typed-error contract (bad
+// requests get a status, never an engine CHECK). Part of the TSan CI
+// matrix: the concurrency here is real lanes over real shared indexes.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fairmatch/serve/dataset_registry.h"
+#include "fairmatch/serve/server.h"
+#include "fairmatch/serve/status.h"
+#include "test_util.h"
+
+namespace fairmatch::serve {
+namespace {
+
+using fairmatch::testing::ProblemSpec;
+using fairmatch::testing::RandomProblem;
+using fairmatch::testing::RunRegisteredMatcher;
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t MatchingHash(const Matching& m) {
+  uint64_t h = 1469598103934665603ull;
+  for (const MatchPair& p : m) {
+    h = Fnv1a(h, static_cast<uint64_t>(p.fid));
+    h = Fnv1a(h, static_cast<uint64_t>(p.oid));
+  }
+  return h;
+}
+
+/// The per-request numbers that must not depend on serving.
+struct Fingerprint {
+  uint64_t matching_hash;
+  int64_t io_accesses;
+  uint64_t pairs;
+  int64_t loops;
+
+  bool operator==(const Fingerprint& other) const {
+    return matching_hash == other.matching_hash &&
+           io_accesses == other.io_accesses && pairs == other.pairs &&
+           loops == other.loops;
+  }
+};
+
+Fingerprint OfResponse(const Response& response) {
+  return Fingerprint{MatchingHash(response.matching),
+                     response.stats.io_accesses, response.stats.pairs,
+                     response.stats.loops};
+}
+
+Fingerprint OfDirect(const AssignResult& result) {
+  return Fingerprint{MatchingHash(result.matching), result.stats.io_accesses,
+                     result.stats.pairs, result.stats.loops};
+}
+
+AssignmentProblem SmallProblem(uint64_t seed) {
+  ProblemSpec spec;
+  spec.num_functions = 30;
+  spec.num_objects = 250;
+  spec.dims = 3;
+  spec.distribution = Distribution::kAntiCorrelated;
+  spec.seed = seed;
+  spec.max_gamma = 3;  // priorities on, to exercise the richer paths
+  return RandomProblem(spec);
+}
+
+/// Registered matchers the server runs end-to-end. Excludes test-local
+/// stubs (registered by later tests in this binary, never by the
+/// library).
+std::vector<std::string> ServableMatchers() {
+  std::vector<std::string> names;
+  for (const std::string& name : MatcherRegistry::Global().Names()) {
+    if (name != "Gated") names.push_back(name);
+  }
+  return names;
+}
+
+// --- the headline response contract ----------------------------------
+
+TEST(ServeContractTest, ResponsesByteIdenticalToDirectRunsForEveryMatcher) {
+  const AssignmentProblem problem = SmallProblem(41000);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+
+  ServerOptions options;
+  options.lanes = 2;
+  Server server(&registry, options);
+
+  for (const std::string& name : ServableMatchers()) {
+    ExecContext ctx;
+    const Fingerprint direct = OfDirect(RunRegisteredMatcher(name, problem,
+                                                             &ctx));
+    Request request;
+    request.dataset = "ds";
+    request.matcher = name;
+    const Response response = server.Execute(request);
+    ASSERT_TRUE(response.status.ok())
+        << name << ": " << response.status.message;
+    EXPECT_TRUE(OfResponse(response) == direct)
+        << name << " served response diverged from the direct run";
+    EXPECT_EQ(response.stats.algorithm, name);
+    EXPECT_GE(response.total_ms, response.exec_ms);
+    EXPECT_GE(response.queue_ms, 0.0);
+    EXPECT_GT(response.request_id, 0u);
+  }
+}
+
+// The Section 7.6 setting rides through the request knob: a
+// per-request DiskFunctionStore on the lane's recycled disk must count
+// exactly the I/O a fresh-storage direct run counts.
+TEST(ServeContractTest, DiskResidentFunctionRequestsMatchDirectRuns) {
+  const AssignmentProblem problem = SmallProblem(42000);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+  Server server(&registry);
+
+  for (const char* name : {"SB", "SB-alt", "BruteForce"}) {
+    ExecContext ctx;
+    const Fingerprint direct = OfDirect(RunRegisteredMatcher(
+        name, problem, &ctx, /*force_disk_functions=*/true));
+    Request request;
+    request.dataset = "ds";
+    request.matcher = name;
+    request.disk_resident_functions = true;
+    const Response response = server.Execute(request);
+    ASSERT_TRUE(response.status.ok()) << name;
+    EXPECT_TRUE(OfResponse(response) == direct) << name;
+    EXPECT_GT(response.stats.io_accesses, 0) << name;
+    // Consecutive requests on the same lane recycle the workspace;
+    // the second run must not see the first one's pages.
+    const Response again = server.Execute(request);
+    ASSERT_TRUE(again.status.ok()) << name;
+    EXPECT_TRUE(OfResponse(again) == direct) << name << " (recycled lane)";
+  }
+}
+
+// The packed image is resident once; every request probes it through a
+// private view. Both image placements must serve identical bytes.
+TEST(ServeContractTest, PackedViewsServeIdenticalResultsInBothImageModes) {
+  const AssignmentProblem problem = SmallProblem(43000);
+  for (const bool mmap_mode : {false, true}) {
+    DatasetRegistry registry;
+    DatasetOptions dopts;
+    dopts.packed_mmap = mmap_mode;
+    registry.Open("ds", problem, dopts);
+    Server server(&registry);
+
+    for (const char* name : {"SB-Packed", "SB-alt-Packed"}) {
+      ExecContext ctx;
+      const Fingerprint direct = OfDirect(RunRegisteredMatcher(
+          name, problem, &ctx, /*force_disk_functions=*/false,
+          /*buffer_fraction=*/0.02, mmap_mode));
+      Request request;
+      request.dataset = "ds";
+      request.matcher = name;
+      const Response response = server.Execute(request);
+      ASSERT_TRUE(response.status.ok()) << name << " mmap=" << mmap_mode;
+      EXPECT_TRUE(OfResponse(response) == direct)
+          << name << " mmap=" << mmap_mode;
+      EXPECT_EQ(response.stats.io_accesses, 0) << name;
+    }
+  }
+}
+
+// Tree-mutating matchers get a private tree; the resident one must
+// come through completely unscathed.
+TEST(ServeContractTest, TreeMutatingMatchersDoNotDisturbTheSharedTree) {
+  const AssignmentProblem problem = SmallProblem(44000);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+  Server server(&registry);
+
+  Request sb;
+  sb.dataset = "ds";
+  sb.matcher = "SB";
+  const Fingerprint before = OfResponse(server.Execute(sb));
+
+  Request chain;
+  chain.dataset = "ds";
+  chain.matcher = "Chain";
+  ExecContext ctx;
+  const Fingerprint chain_direct =
+      OfDirect(RunRegisteredMatcher("Chain", problem, &ctx));
+  for (int i = 0; i < 3; ++i) {
+    const Response response = server.Execute(chain);
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_TRUE(OfResponse(response) == chain_direct) << "run " << i;
+  }
+  EXPECT_TRUE(OfResponse(server.Execute(sb)) == before)
+      << "Chain requests mutated the shared resident tree";
+}
+
+// --- concurrent-request determinism ----------------------------------
+
+TEST(ServeConcurrencyTest, DeterministicAtOneTwoAndEightLanes) {
+  const AssignmentProblem problem = SmallProblem(45000);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+
+  // A request mix crossing every backend: shared tree, per-request
+  // disk store, shared packed image, private tree.
+  const std::vector<std::string> mix = {"SB",     "SB-Packed", "BruteForce",
+                                        "SB-alt", "Chain",     "SB-alt-Packed",
+                                        "SB-TwoSkylines"};
+  const int kRequests = 21;
+  std::vector<Fingerprint> direct;
+  for (int i = 0; i < kRequests; ++i) {
+    ExecContext ctx;
+    direct.push_back(OfDirect(
+        RunRegisteredMatcher(mix[static_cast<size_t>(i) % mix.size()],
+                             problem, &ctx)));
+  }
+
+  for (const int lanes : {1, 2, 8}) {
+    ServerOptions options;
+    options.lanes = lanes;
+    options.max_queue = kRequests;  // admit everything
+    Server server(&registry, options);
+    std::vector<ResponseFuture> futures;
+    for (int i = 0; i < kRequests; ++i) {
+      Request request;
+      request.dataset = "ds";
+      request.matcher = mix[static_cast<size_t>(i) % mix.size()];
+      futures.push_back(server.Submit(std::move(request)));
+    }
+    for (int i = 0; i < kRequests; ++i) {
+      const Response& response = futures[static_cast<size_t>(i)].Wait();
+      ASSERT_TRUE(response.status.ok())
+          << "request " << i << " at lanes=" << lanes << ": "
+          << response.status.message;
+      EXPECT_TRUE(OfResponse(response) == direct[static_cast<size_t>(i)])
+          << "request " << i << " (" << response.stats.algorithm
+          << ") diverged at lanes=" << lanes;
+    }
+    server.Close();
+    const ServerCounters counters = server.counters();
+    EXPECT_EQ(counters.accepted, kRequests);
+    EXPECT_EQ(counters.completed, kRequests);
+    EXPECT_EQ(counters.rejected, 0);
+  }
+}
+
+// --- admission control -----------------------------------------------
+
+/// Matcher stub whose Run() blocks until the test releases it — the
+/// deterministic way to hold a lane busy and fill the queue.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int started = 0;
+  bool release = false;
+
+  void WaitForStarted(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this, n] { return started >= n; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class GatedMatcher : public Matcher {
+ public:
+  explicit GatedMatcher(std::shared_ptr<Gate> gate)
+      : gate_(std::move(gate)) {}
+  std::string Name() const override { return "Gated"; }
+  AssignResult Run() override {
+    {
+      std::lock_guard<std::mutex> lock(gate_->mu);
+      ++gate_->started;
+    }
+    gate_->cv.notify_all();
+    std::unique_lock<std::mutex> lock(gate_->mu);
+    gate_->cv.wait(lock, [this] { return gate_->release; });
+    AssignResult result;
+    result.stats.algorithm = "Gated";
+    return result;
+  }
+
+ private:
+  std::shared_ptr<Gate> gate_;
+};
+
+/// Registers the gated stub (before any server lane exists — Register
+/// is not synchronized) and returns its gate.
+std::shared_ptr<Gate> RegisterGatedMatcher() {
+  auto gate = std::make_shared<Gate>();
+  MatcherInfo info;
+  info.name = "Gated";
+  info.description = "test stub: blocks until released";
+  info.factory = [gate](const MatcherEnv&) {
+    return std::make_unique<GatedMatcher>(gate);
+  };
+  MatcherRegistry::Global().Register(std::move(info));
+  return gate;
+}
+
+TEST(ServeAdmissionTest, FullQueueRejectsWithOverloaded) {
+  const AssignmentProblem problem = SmallProblem(46000);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+  std::shared_ptr<Gate> gate = RegisterGatedMatcher();
+
+  ServerOptions options;
+  options.lanes = 1;
+  options.max_queue = 1;
+  Server server(&registry, options);
+
+  Request request;
+  request.dataset = "ds";
+  request.matcher = "Gated";
+
+  // First request occupies the single lane...
+  ResponseFuture running = server.Submit(request);
+  gate->WaitForStarted(1);
+  // ...second fills the queue...
+  ResponseFuture queued = server.Submit(request);
+  // ...third must be rejected, immediately and without blocking.
+  ResponseFuture rejected = server.Submit(request);
+  EXPECT_TRUE(rejected.done());
+  EXPECT_EQ(rejected.Wait().status.code, ServeCode::kOverloaded);
+
+  gate->Release();
+  EXPECT_TRUE(running.Wait().status.ok());
+  EXPECT_TRUE(queued.Wait().status.ok());
+
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.accepted, 2);
+  EXPECT_EQ(counters.rejected, 1);
+}
+
+TEST(ServeAdmissionTest, InflightCapRejectsWithOverloaded) {
+  const AssignmentProblem problem = SmallProblem(46500);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+  std::shared_ptr<Gate> gate = RegisterGatedMatcher();
+
+  ServerOptions options;
+  options.lanes = 2;
+  options.max_queue = 16;
+  options.max_inflight = 2;  // both lanes busy = at capacity
+  Server server(&registry, options);
+
+  Request request;
+  request.dataset = "ds";
+  request.matcher = "Gated";
+  ResponseFuture a = server.Submit(request);
+  ResponseFuture b = server.Submit(request);
+  gate->WaitForStarted(2);
+  ResponseFuture c = server.Submit(request);
+  EXPECT_TRUE(c.done());
+  EXPECT_EQ(c.Wait().status.code, ServeCode::kOverloaded);
+
+  gate->Release();
+  EXPECT_TRUE(a.Wait().status.ok());
+  EXPECT_TRUE(b.Wait().status.ok());
+}
+
+TEST(ServeAdmissionTest, DrainCompletesEveryAcceptedRequest) {
+  const AssignmentProblem problem = SmallProblem(47000);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+
+  ServerOptions options;
+  options.lanes = 2;
+  options.max_queue = 64;
+  Server server(&registry, options);
+
+  std::vector<ResponseFuture> futures;
+  for (int i = 0; i < 16; ++i) {
+    Request request;
+    request.dataset = "ds";
+    request.matcher = (i % 2 == 0) ? "SB" : "BruteForce";
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  server.Close();  // must drain, not drop
+
+  int completed_ok = 0;
+  for (ResponseFuture& future : futures) {
+    const Response& response = future.Wait();
+    if (response.status.ok()) ++completed_ok;
+    EXPECT_GT(response.stats.pairs, 0u);
+  }
+  EXPECT_EQ(completed_ok, 16);
+
+  // After Close, new submissions are turned away with kUnavailable.
+  Request late;
+  late.dataset = "ds";
+  late.matcher = "SB";
+  const Response response = server.Execute(late);
+  EXPECT_EQ(response.status.code, ServeCode::kUnavailable);
+  EXPECT_EQ(server.counters().completed, 16);
+}
+
+// --- typed errors instead of CHECK-fails -----------------------------
+
+TEST(ServeErrorTest, BadRequestsGetTypedStatusesNotCrashes) {
+  const AssignmentProblem problem = SmallProblem(48000);
+  DatasetRegistry registry;
+  registry.Open("plain", problem, [] {
+    DatasetOptions o;
+    o.build_packed = false;  // no packed image
+    return o;
+  }());
+  Server server(&registry);
+
+  Request request;
+  request.dataset = "plain";
+  request.matcher = "NoSuchMatcher";
+  EXPECT_EQ(server.Execute(request).status.code, ServeCode::kNotFound);
+
+  request.matcher = "SB";
+  request.dataset = "no-such-dataset";
+  EXPECT_EQ(server.Execute(request).status.code, ServeCode::kNotFound);
+
+  request.dataset = "plain";
+  request.matcher = "SB-Packed";  // needs the packed image
+  EXPECT_EQ(server.Execute(request).status.code,
+            ServeCode::kFailedPrecondition);
+
+  request.matcher = "SB";
+  request.buffer_fraction = -0.5;
+  EXPECT_EQ(server.Execute(request).status.code,
+            ServeCode::kInvalidArgument);
+
+  // The service survived all of it.
+  request.buffer_fraction = 0.02;
+  EXPECT_TRUE(server.Execute(request).status.ok());
+  EXPECT_EQ(server.counters().rejected, 4);
+}
+
+// --- dataset lifecycle -----------------------------------------------
+
+TEST(DatasetLifecycleTest, SecondOpenSharesTheResidentStructures) {
+  const AssignmentProblem problem = SmallProblem(49000);
+  DatasetRegistry registry;
+  DatasetHandle first = registry.Open("ds", problem);
+  DatasetHandle second = registry.Open("ds", problem);
+  EXPECT_EQ(first.get(), second.get()) << "warm open rebuilt the dataset";
+  EXPECT_EQ(registry.cold_opens(), 1);
+  EXPECT_EQ(registry.warm_opens(), 1);
+  EXPECT_GT(first->build_ms(), 0.0);
+  EXPECT_GT(first->memory_bytes(), 0u);
+  EXPECT_EQ(registry.Names(), std::vector<std::string>{"ds"});
+}
+
+TEST(DatasetLifecycleTest, CloseWhileHandlesLiveIsSafe) {
+  const AssignmentProblem problem = SmallProblem(49500);
+  DatasetRegistry registry;
+  DatasetHandle handle = registry.Open("ds", problem);
+  EXPECT_TRUE(registry.Close("ds").ok());
+  EXPECT_EQ(registry.Find("ds"), nullptr);
+  EXPECT_EQ(registry.Close("ds").code, ServeCode::kNotFound);
+
+  // The outstanding handle still works: the structures live until the
+  // last reference drops.
+  EXPECT_EQ(handle->problem().objects.size(), problem.objects.size());
+  EXPECT_GT(handle->tree()->size(), 0);
+
+  // Re-opening builds fresh structures (a cold open again).
+  DatasetHandle reopened = registry.Open("ds", problem);
+  EXPECT_NE(reopened.get(), handle.get());
+  EXPECT_EQ(registry.cold_opens(), 2);
+}
+
+TEST(DatasetLifecycleTest, CloseUnderInflightTrafficIsSafe) {
+  const AssignmentProblem problem = SmallProblem(49800);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+  std::shared_ptr<Gate> gate = RegisterGatedMatcher();
+
+  ServerOptions options;
+  options.lanes = 1;
+  Server server(&registry, options);
+
+  Request gated;
+  gated.dataset = "ds";
+  gated.matcher = "Gated";
+  ResponseFuture inflight = server.Submit(gated);
+  gate->WaitForStarted(1);
+
+  // Drop the registry's reference while the request holds its own.
+  EXPECT_TRUE(registry.Close("ds").ok());
+  gate->Release();
+  EXPECT_TRUE(inflight.Wait().status.ok());
+
+  // The dataset is gone for NEW requests only.
+  Request late;
+  late.dataset = "ds";
+  late.matcher = "SB";
+  EXPECT_EQ(server.Execute(late).status.code, ServeCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace fairmatch::serve
