@@ -201,6 +201,111 @@ def check_serving_latency(rows):
             "footprint; the dataset was not built"
         )
 
+    # The overload section's counts are forced by the server's admission
+    # limits (1 lane held + queue bound 4 + 12-request burst), so they
+    # are exact: the outcomes must partition the submitted set, and both
+    # rejection paths must actually fire.
+    overload = {
+        r["algorithm"]: r for r in rows if r["section"] == "overload"
+    }
+    for name in ("submitted", "ok", "rejected", "deadline"):
+        if name not in overload:
+            fail(f"serving_latency: overload section is missing {name!r}")
+    submitted = overload["submitted"]["io_accesses"]
+    outcomes = sum(
+        overload[name]["io_accesses"] for name in ("ok", "rejected", "deadline")
+    )
+    if outcomes != submitted:
+        fail(
+            f"serving_latency: overload outcomes ({outcomes}) do not "
+            f"partition the {submitted} submitted requests: a request "
+            "finished with an unexpected status"
+        )
+    for name in ("rejected", "deadline"):
+        if overload[name]["io_accesses"] <= 0:
+            fail(
+                f"serving_latency: overload produced zero {name} "
+                "requests; admission control never engaged"
+            )
+    for name, row in overload.items():
+        if row["pairs"] != submitted:
+            fail(
+                f"serving_latency: overload row {name!r} reports "
+                f"pairs={row['pairs']}, expected submitted={submitted}"
+            )
+
+
+def check_fault_recovery(rows):
+    """fault_recovery carries the fault injector's determinism guarantee
+    onto the report surface: schedules depend only on (plan seed,
+    request id, attempt), so each section's deterministic columns
+    (io_accesses = injected faults, pairs = retries, loops = the
+    status+matching digest) must be identical at every lane count. The
+    rate0 baseline runs with the injector disabled and must report zero
+    faults, zero retries and 100% success; at least one faulted section
+    must actually inject."""
+    by_section = {}
+    for row in rows:
+        by_section.setdefault(row["section"], []).append(row)
+    if len(by_section) < 2 or "rate0" not in by_section:
+        fail(
+            f"fault_recovery: sections {sorted(by_section)}; expected "
+            "rate0 plus >= 1 faulted intensity"
+        )
+
+    expected_algos = {"mix", "mix:p99", "mix:success"}
+    for section, section_rows in by_section.items():
+        lanes = {r["x"] for r in section_rows}
+        if len(lanes) < 2:
+            fail(
+                f"fault_recovery: {section} covers {len(lanes)} lane "
+                "count(s); expected a sweep over >= 2"
+            )
+        by_cell = {}
+        for row in section_rows:
+            by_cell.setdefault(row["x"], set()).add(row["algorithm"])
+        for x, algos in by_cell.items():
+            missing = expected_algos - algos
+            if missing:
+                fail(
+                    f"fault_recovery: cell {section}/x={x} is missing "
+                    f"rows {sorted(missing)}"
+                )
+        baseline = section_rows[0]
+        for row in section_rows[1:]:
+            for field in ("io_accesses", "pairs", "loops"):
+                if row[field] != baseline[field]:
+                    fail(
+                        f"fault_recovery: {field} differs within "
+                        f"{section} ({baseline[field]} at "
+                        f"x={baseline['x']}/{baseline['algorithm']} vs "
+                        f"{row[field]} at x={row['x']}/{row['algorithm']}): "
+                        "the fault schedule is not lane-invariant"
+                    )
+
+    for row in by_section["rate0"]:
+        if row["io_accesses"] != 0 or row["pairs"] != 0:
+            fail(
+                f"fault_recovery: rate0 row {row['algorithm']!r} reports "
+                f"faults={row['io_accesses']} retries={row['pairs']}; the "
+                "disabled injector must inject nothing"
+            )
+        if row["algorithm"] == "mix:success" and row["cpu_ms"] != 100.0:
+            fail(
+                f"fault_recovery: rate0 success rate is {row['cpu_ms']}%; "
+                "a fault-free run must succeed completely"
+            )
+    if not any(
+        row["io_accesses"] > 0
+        for section, section_rows in by_section.items()
+        if section != "rate0"
+        for row in section_rows
+    ):
+        fail(
+            "fault_recovery: no faulted section injected a single "
+            "fault; the injector never engaged"
+        )
+
 
 def main():
     if len(sys.argv) != 3:
@@ -251,6 +356,7 @@ def main():
     check_micro_packed_probe(report["figures"].get("micro_packed_probe", []))
     check_scale_sweep(report["figures"].get("scale_sweep", []))
     check_serving_latency(report["figures"].get("serving_latency", []))
+    check_fault_recovery(report["figures"].get("fault_recovery", []))
 
     print(
         f"check_bench_report: OK — {len(reported)} figures, {rows} rows, "

@@ -10,6 +10,7 @@ void RegisterMicroFigures(FigureRegistry* registry);
 void RegisterBatchFigure(FigureRegistry* registry);
 void RegisterPackedFigures(FigureRegistry* registry);
 void RegisterServeFigure(FigureRegistry* registry);
+void RegisterFaultFigure(FigureRegistry* registry);
 
 FigureRegistry& FigureRegistry::Global() {
   static FigureRegistry* registry = [] {
@@ -19,6 +20,7 @@ FigureRegistry& FigureRegistry::Global() {
     RegisterBatchFigure(r);
     RegisterPackedFigures(r);
     RegisterServeFigure(r);
+    RegisterFaultFigure(r);
     return r;
   }();
   return *registry;

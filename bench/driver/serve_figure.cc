@@ -24,6 +24,12 @@
 // A final "open" section measures the dataset lifecycle: cold open
 // (build the R-tree + packed image; cpu_ms = build wall time, mem_mb =
 // resident footprint) vs warm open (share the resident structures).
+//
+// An "overload" section measures admission control: a registered
+// BenchHold matcher pins the single lane while a burst overruns the
+// bounded queue, so every rejected / timed-out / completed count is
+// decided by the server's limits, not by timing — the rows are exact
+// request-rate columns check_bench_report.py can assert.
 #include <algorithm>
 #include <chrono>
 #include <map>
@@ -36,6 +42,8 @@
 #include "driver/figure_registry.h"
 #include "fairmatch/common/check.h"
 #include "fairmatch/common/timer.h"
+#include "fairmatch/engine/exec_context.h"
+#include "fairmatch/engine/registry.h"
 #include "fairmatch/serve/dataset_registry.h"
 #include "fairmatch/serve/server.h"
 
@@ -161,6 +169,107 @@ const ExperimentResult& SampleFor(
         RunServeExperiment(problem, lanes, arrival_per_sec));
   }
   return cache->samples[index];
+}
+
+/// Holds its lane for a fixed wall interval, then succeeds. Long
+/// enough that the overload burst (microseconds of Submit calls) is
+/// fully adjudicated — queued or rejected — before the lane frees up.
+class HoldMatcher : public Matcher {
+ public:
+  explicit HoldMatcher(ExecContext* ctx) : ctx_(ctx) {}
+  std::string Name() const override { return "BenchHold"; }
+  AssignResult Run() override {
+    AssignResult result;
+    result.stats.algorithm = "BenchHold";
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+    while (std::chrono::steady_clock::now() < until &&
+           !(ctx_ != nullptr && ctx_->ShouldAbort())) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (ctx_ != nullptr) result.status = ctx_->status();
+    return result;
+  }
+
+ private:
+  ExecContext* ctx_;
+};
+
+/// Registers BenchHold once. Safe here because figures run one at a
+/// time and no server lane is alive between experiments (Register is
+/// not synchronized).
+void EnsureHoldMatcherRegistered() {
+  static const bool registered = [] {
+    MatcherInfo info;
+    info.name = "BenchHold";
+    info.description = "bench stub: occupies a lane for a fixed interval";
+    info.factory = [](const MatcherEnv& env) {
+      return std::make_unique<HoldMatcher>(env.ctx);
+    };
+    MatcherRegistry::Global().Register(std::move(info));
+    return true;
+  }();
+  (void)registered;
+}
+
+struct OverloadResult {
+  int submitted = 0;
+  int ok = 0;
+  int rejected = 0;   // kOverloaded at Submit
+  int deadline = 0;   // kDeadlineExceeded while queued
+};
+
+/// One lane, a 4-deep queue, a BenchHold pinning the lane, then a
+/// 12-request burst with 1 ms deadlines: 4 requests queue (and expire
+/// at dequeue, since the lane stays held far longer than 1 ms), 8 are
+/// rejected at admission, and only the blocker completes. Every count
+/// is forced by the configured limits.
+OverloadResult RunOverloadExperiment(const AssignmentProblem& problem) {
+  EnsureHoldMatcherRegistered();
+  serve::DatasetRegistry registry;
+  registry.Open("bench", problem);
+
+  serve::ServerOptions options;
+  options.lanes = 1;
+  options.max_queue = 4;
+  serve::Server server(&registry, options);
+
+  serve::Request blocker;
+  blocker.dataset = "bench";
+  blocker.matcher = "BenchHold";
+  serve::ResponseFuture held = server.Submit(blocker);
+  // The burst must find the blocker *running*, not queued, or it would
+  // occupy one of the four queue slots.
+  while (server.queue_depth() > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  constexpr int kBurst = 12;
+  std::vector<serve::ResponseFuture> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    serve::Request request;
+    request.dataset = "bench";
+    request.matcher = kServeMix[i % kServeMixSize];
+    request.deadline_ms = 1.0;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+
+  OverloadResult result;
+  result.submitted = kBurst + 1;
+  if (held.Wait().status.ok()) ++result.ok;
+  for (serve::ResponseFuture& future : futures) {
+    const serve::Response& response = future.Wait();
+    if (response.status.ok()) {
+      ++result.ok;
+    } else if (response.status.code == serve::ServeCode::kOverloaded) {
+      ++result.rejected;
+    } else if (response.status.code == serve::ServeCode::kDeadlineExceeded) {
+      ++result.deadline;
+    }
+  }
+  server.Close();
+  return result;
 }
 
 /// Deterministic columns shared by every row of one matcher. loops is
@@ -290,6 +399,60 @@ std::vector<FigureSection> ServingLatency() {
       cell.runs.push_back(std::move(run));
       s.cells.push_back(std::move(cell));
     }
+    sections.push_back(std::move(s));
+  }
+
+  // Admission control under a deliberate overload (see file comment).
+  // cpu_ms = share of submitted requests (%), io_accesses = the raw
+  // count, pairs = requests submitted: exact integers a checker can
+  // assert (ok + rejected + deadline == submitted, rejected > 0, ...).
+  {
+    FigureSection s;
+    s.key = "overload";
+    s.title = "Admission control: burst against a held lane";
+    s.subtitle =
+        "1 lane pinned by BenchHold, queue bound 4, then a 12-request "
+        "burst with 1 ms deadlines (cpu_ms = % of submitted, io = "
+        "count, pairs = submitted; rejected = kOverloaded at Submit, "
+        "deadline = expired while queued)";
+    FigureCell cell;
+    cell.x = "burst";
+    cell.config = shape;
+    auto cache = std::make_shared<std::vector<OverloadResult>>();
+    struct Row {
+      const char* name;
+      int OverloadResult::*count;
+    };
+    const Row kRows[] = {{"submitted", &OverloadResult::submitted},
+                         {"ok", &OverloadResult::ok},
+                         {"rejected", &OverloadResult::rejected},
+                         {"deadline", &OverloadResult::deadline}};
+    for (const Row& row : kRows) {
+      MeasuredRun run;
+      run.algorithm = row.name;
+      auto cursor = std::make_shared<size_t>(0);
+      const char* name = row.name;
+      int OverloadResult::*count = row.count;
+      run.runner = [cache, cursor, name, count](
+                       const AssignmentProblem& problem,
+                       const BenchConfig&) {
+        const size_t index = (*cursor)++;
+        while (cache->size() <= index) {
+          cache->push_back(RunOverloadExperiment(problem));
+        }
+        const OverloadResult& sample = (*cache)[index];
+        RunStats stats;
+        stats.algorithm = name;
+        stats.cpu_ms = sample.submitted > 0
+                           ? 100.0 * (sample.*count) / sample.submitted
+                           : 0.0;
+        stats.io_accesses = sample.*count;
+        stats.pairs = static_cast<size_t>(sample.submitted);
+        return stats;
+      };
+      cell.runs.push_back(std::move(run));
+    }
+    s.cells.push_back(std::move(cell));
     sections.push_back(std::move(s));
   }
   return sections;

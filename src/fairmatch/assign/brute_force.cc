@@ -78,6 +78,9 @@ AssignResult BruteForceAssignment(const AssignmentProblem& problem,
   }
 
   while (!queue.empty() && objects_left > 0) {
+    // Cancellation point: a storage fault or an expired deadline aborts
+    // this run with whatever partial matching is already in `result`.
+    if (options.ctx != nullptr && options.ctx->ShouldAbort()) break;
     result.stats.loops++;
     GlobalEntry top = queue.top();
     queue.pop();

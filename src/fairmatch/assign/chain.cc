@@ -138,6 +138,9 @@ AssignResult ChainAssignment(const AssignmentProblem& problem, RTree* tree,
   };
 
   while (!live_fns.empty() && objects_left > 0) {
+    // Cancellation point: a storage fault or an expired deadline aborts
+    // this run with whatever partial matching is already in `result`.
+    if (options.ctx != nullptr && options.ctx->ShouldAbort()) break;
     result.stats.loops++;
     // Pick the next item to test: queue front, else any live function.
     ChainItem item{};

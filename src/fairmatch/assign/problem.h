@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fairmatch/common/preference.h"
+#include "fairmatch/common/status.h"
 #include "fairmatch/rtree/rtree.h"
 
 namespace fairmatch {
@@ -78,10 +79,14 @@ struct RunStats {
   }
 };
 
-/// Matching plus statistics.
+/// Matching plus statistics. `status` is OK for a completed run; a
+/// run that hit a storage fault or its deadline carries the first
+/// error (common/status.h) and a partial (possibly empty) matching —
+/// the engine aborts the run, never the process.
 struct AssignResult {
   Matching matching;
   RunStats stats;
+  Status status;
 };
 
 /// Bulk-loads `problem`'s objects into an (empty) R-tree.

@@ -93,6 +93,9 @@ AssignResult SBAssignment::Run() {
   bool functions_exhausted = false;
 
   while (remaining_fns_ > 0 && !functions_exhausted) {
+    // Cancellation point: a storage fault or an expired deadline aborts
+    // this run with whatever partial matching is already in `result`.
+    if (ctx_ != nullptr && ctx_->ShouldAbort()) break;
     result.stats.loops++;
     // --- skyline maintenance -------------------------------------------
     if (first) {
@@ -155,6 +158,11 @@ AssignResult SBAssignment::Run() {
       }
       pairs.push_back(MatchPair{best->fbest, best->oid, best->fbest_score});
     }
+    // Candidate scores come from (possibly faulted) TA reads while the
+    // engine's function-side bests use in-memory scores; corruption can
+    // break the mutual-best guarantee. In a faulted run that is data
+    // loss, not a broken invariant — unwind instead of aborting.
+    if (pairs.empty() && ctx_ != nullptr && ctx_->ShouldAbort()) break;
     FAIRMATCH_CHECK(!pairs.empty());
 
     for (const MatchPair& pair : pairs) {

@@ -255,6 +255,9 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
   const int64_t pages = store->pages_per_list();
 
   while (remaining_fns > 0) {
+    // Cancellation point: a storage fault or an expired deadline aborts
+    // this run with whatever partial matching is already in `result`.
+    if (ctx != nullptr && ctx->ShouldAbort()) break;
     result.stats.loops++;
     if (first) {
       sky_mgr.ComputeInitial();
@@ -327,6 +330,11 @@ AssignResult SBAltAssignment(const AssignmentProblem& problem,
     }
 
     std::vector<MatchPair> pairs = engine.FindMutualPairs(candidates, added);
+    // Candidate scores come from (possibly faulted) store reads while the
+    // engine's function-side bests use in-memory scores; corruption can
+    // break the mutual-best guarantee. In a faulted run that is data
+    // loss, not a broken invariant — unwind instead of aborting.
+    if (pairs.empty() && ctx != nullptr && ctx->ShouldAbort()) break;
     FAIRMATCH_CHECK(!pairs.empty());
     for (const MatchPair& pair : pairs) {
       result.matching.push_back(pair);
@@ -385,6 +393,8 @@ AssignResult SBAltPackedAssignment(const AssignmentProblem& problem,
   const int num_blocks = store->num_blocks();
 
   while (remaining_fns > 0) {
+    // Cancellation point (see SBAltAssignment above).
+    if (ctx != nullptr && ctx->ShouldAbort()) break;
     result.stats.loops++;
     if (first) {
       sky_mgr.ComputeInitial();
@@ -467,6 +477,11 @@ AssignResult SBAltPackedAssignment(const AssignmentProblem& problem,
     }
 
     std::vector<MatchPair> pairs = engine.FindMutualPairs(candidates, added);
+    // Candidate scores come from (possibly faulted) store reads while the
+    // engine's function-side bests use in-memory scores; corruption can
+    // break the mutual-best guarantee. In a faulted run that is data
+    // loss, not a broken invariant — unwind instead of aborting.
+    if (pairs.empty() && ctx != nullptr && ctx->ShouldAbort()) break;
     FAIRMATCH_CHECK(!pairs.empty());
     for (const MatchPair& pair : pairs) {
       result.matching.push_back(pair);

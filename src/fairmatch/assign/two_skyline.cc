@@ -153,6 +153,9 @@ AssignResult TwoSkylineAssignment(const AssignmentProblem& problem,
   bool exhausted = false;
 
   while (remaining_fns > 0 && !exhausted) {
+    // Cancellation point: a storage fault or an expired deadline aborts
+    // this run with whatever partial matching is already in `result`.
+    if (ctx != nullptr && ctx->ShouldAbort()) break;
     result.stats.loops++;
     if (first) {
       sky_mgr.ComputeInitial();

@@ -1,0 +1,43 @@
+// CRC32 (the reflected 0xEDB88320 polynomial), shared by every layer
+// that checks bytes for integrity: the packed function-list image's
+// per-block checksums (topk/packed_function_lists.cc) and the simulated
+// disk's optional per-page verify-on-read (storage/disk_manager.h).
+//
+// Streaming form: seed the state with 0xFFFFFFFF, feed any number of
+// Crc32Update calls, xor the final state with 0xFFFFFFFF. Crc32Of is
+// the one-shot convenience over one buffer.
+#ifndef FAIRMATCH_COMMON_CRC32_H_
+#define FAIRMATCH_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace fairmatch {
+
+inline uint32_t Crc32Update(uint32_t state, const void* data, size_t len) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+inline uint32_t Crc32Of(const void* data, size_t len) {
+  return Crc32Update(0xFFFFFFFFu, data, len) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_COMMON_CRC32_H_

@@ -47,7 +47,13 @@ class AdapterMatcher : public Matcher {
     AssignResult result = run_(env_);
     result.stats.algorithm = name_;
     result.stats.pairs = result.matching.size();
-    if (env_.ctx != nullptr) env_.ctx->Finish(&result.stats);
+    if (env_.ctx != nullptr) {
+      env_.ctx->Finish(&result.stats);
+      // A fault anywhere in the run's storage stack (or an expired
+      // deadline) landed in the context's sticky sink; surface it as
+      // the run's typed outcome.
+      result.status = env_.ctx->status();
+    }
     return result;
   }
 

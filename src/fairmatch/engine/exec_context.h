@@ -17,10 +17,12 @@
 #ifndef FAIRMATCH_ENGINE_EXEC_CONTEXT_H_
 #define FAIRMATCH_ENGINE_EXEC_CONTEXT_H_
 
+#include <chrono>
 #include <string>
 
 #include "fairmatch/assign/problem.h"
 #include "fairmatch/common/stats.h"
+#include "fairmatch/common/status.h"
 #include "fairmatch/common/timer.h"
 
 namespace fairmatch {
@@ -50,6 +52,40 @@ class ExecContext {
   /// Shared search-structure memory tracker.
   MemoryTracker& memory() { return memory_; }
   const MemoryTracker& memory() const { return memory_; }
+
+  /// Sticky first-error collector for the run. Storage objects report
+  /// typed faults here (DiskManager::set_error_sink wires the bottom of
+  /// the stack to it); matchers poll ShouldAbort() at their outer loops
+  /// and unwind with a partial result when it trips.
+  ErrorSink& errors() { return errors_; }
+  const ErrorSink& errors() const { return errors_; }
+
+  /// The run's first error (OK while healthy). AdapterMatcher copies
+  /// this into AssignResult::status after the run.
+  const Status& status() const { return errors_.status(); }
+
+  /// Arms a wall-clock deadline. Once it passes, ShouldAbort() reports
+  /// kDeadlineExceeded to the sink (once) and starts returning true.
+  /// Unset by default: direct runs and benches never pay the clock
+  /// reads.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    deadline_armed_ = true;
+  }
+
+  /// Cancellation point, polled at matcher outer loops. Near-free on
+  /// the happy path (two loads); reads the clock only when a deadline
+  /// is armed.
+  bool ShouldAbort() {
+    if (errors_.failed()) return true;
+    if (deadline_armed_ && std::chrono::steady_clock::now() >= deadline_) {
+      errors_.Report(ErrorCode::kDeadlineExceeded,
+                     "run deadline expired after " +
+                         std::to_string(timer_.ElapsedMs()) + " ms");
+      return true;
+    }
+    return false;
+  }
 
   /// Which function-index backend the run's environment was assembled
   /// with: "lists" (in-memory, the default), "disk"
@@ -89,6 +125,9 @@ class ExecContext {
   PerfCounters counters_;
   MemoryTracker memory_;
   Timer timer_;
+  ErrorSink errors_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool deadline_armed_ = false;
   const char* function_backend_ = "lists";
 };
 

@@ -37,6 +37,18 @@ class NodeView {
   int level() const;
   int count() const;
   bool is_leaf() const { return level() == 0; }
+
+  /// Structural sanity of the header: level in [0, 64) and count in
+  /// [0, capacity]. False means the page bytes cannot be a node (e.g.
+  /// corruption that slipped past checksums) and reading entries would
+  /// run off the page; callers on untrusted read paths
+  /// (PagedNodeStore::Read) check this before handing the node out.
+  bool IsWellFormed() const {
+    const int lvl = level();
+    if (lvl < 0 || lvl >= 64) return false;
+    const int n = count();
+    return n >= 0 && n <= capacity();
+  }
   int dims() const { return dims_; }
   int capacity() const {
     return is_leaf() ? LeafCapacity(dims_) : InternalCapacity(dims_);

@@ -54,11 +54,31 @@ PagedNodeStore::PagedNodeStore(int dims, size_t buffer_frames,
       pool_(disk_, buffer_frames, counters_) {}
 
 NodeHandle PagedNodeStore::Read(PageId pid) {
-  return NodeHandle(pool_.FetchPage(pid), dims(), /*writable=*/false);
+  NodeHandle handle(pool_.FetchPage(pid), dims(), /*writable=*/false);
+  return GuardMalformed(std::move(handle), pid, /*writable=*/false);
 }
 
 NodeHandle PagedNodeStore::Write(PageId pid) {
-  return NodeHandle(pool_.FetchPage(pid), dims(), /*writable=*/true);
+  NodeHandle handle(pool_.FetchPage(pid), dims(), /*writable=*/true);
+  return GuardMalformed(std::move(handle), pid, /*writable=*/true);
+}
+
+NodeHandle PagedNodeStore::GuardMalformed(NodeHandle handle, PageId pid,
+                                          bool writable) {
+  // Inside a sinked run, a header that cannot describe a node (count
+  // past capacity, absurd level) is data loss — reading its entries
+  // would run off the 4 KB page. Degrade to a stable zeroed node (an
+  // empty leaf: every traversal terminates on it) and let the run
+  // unwind at its next cancellation point. Without a sink the bytes
+  // pass through untouched, as the seed did: trusted callers never see
+  // malformed pages and pay nothing here beyond the header test.
+  ErrorSink* sink = disk_->error_sink();
+  if (sink == nullptr || handle.view().IsWellFormed()) return handle;
+  sink->Report(ErrorCode::kDataLoss,
+               "PagedNodeStore: malformed node header on page " +
+                   std::to_string(pid));
+  std::memset(zero_node_.bytes, 0, kPageSize);
+  return NodeHandle(zero_node_.bytes, pid, dims(), writable);
 }
 
 PageId PagedNodeStore::Allocate() {

@@ -128,11 +128,17 @@ class PagedNodeStore : public NodeStore {
   DiskManager& disk() { return *disk_; }
 
  private:
+  /// Substitutes a zeroed node (stable bytes in zero_node_) for a
+  /// structurally malformed page when an error sink is attached —
+  /// reports kDataLoss instead of letting entry reads run off the page.
+  NodeHandle GuardMalformed(NodeHandle handle, PageId pid, bool writable);
+
   DiskManager own_disk_;
   DiskManager* disk_;  // own_disk_ or an injected recyclable one
   PerfCounters own_counters_;
   PerfCounters* counters_;  // own_counters_ or an injected external one
   BufferPool pool_;
+  PageData zero_node_;  // surrogate page for malformed reads
 };
 
 /// Main-memory store; no I/O accounting.

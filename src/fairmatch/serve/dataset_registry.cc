@@ -24,6 +24,19 @@ ResidentDataset::ResidentDataset(std::string name, AssignmentProblem problem,
   build_ms_ = timer.ElapsedMs();
 }
 
+ResidentDataset::ResidentDataset(std::string name, AssignmentProblem problem,
+                                 const DatasetOptions& options,
+                                 std::unique_ptr<PackedFunctionStore> packed)
+    : name_(std::move(name)),
+      problem_(std::move(problem)),
+      store_(problem_.dims),
+      tree_(&store_),
+      packed_(std::move(packed)) {
+  Timer timer;
+  BuildObjectTree(problem_, &tree_, options.fill_factor);
+  build_ms_ = timer.ElapsedMs();
+}
+
 size_t ResidentDataset::memory_bytes() const {
   size_t bytes = store_.memory_bytes();
   if (packed_ != nullptr) bytes += packed_->footprint_bytes();
@@ -55,6 +68,60 @@ DatasetHandle DatasetRegistry::Open(const std::string& name,
     ++warm_opens_;
   }
   return it->second;
+}
+
+ServeStatus DatasetRegistry::OpenOrError(const std::string& name,
+                                         const AssignmentProblem& problem,
+                                         const DatasetOptions& options,
+                                         DatasetHandle* out) {
+  if (options.packed_image_path.empty()) {
+    DatasetHandle handle = Open(name, problem, options);
+    if (out != nullptr) *out = std::move(handle);
+    return ServeStatus::Ok();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = datasets_.find(name);
+    if (it != datasets_.end()) {
+      ++warm_opens_;
+      if (out != nullptr) *out = it->second;
+      return ServeStatus::Ok();
+    }
+  }
+  // Attach (and fully verify) the image outside the lock, like Open()'s
+  // cold build.
+  std::string error;
+  PackedOpenError code = PackedOpenError::kNone;
+  std::unique_ptr<PackedFunctionStore> packed =
+      PackedFunctionStore::Open(options.packed_image_path, &error, &code);
+  if (packed == nullptr) {
+    const std::string detail = "packed image '" + options.packed_image_path +
+                               "': " + PackedOpenErrorName(code) + ": " +
+                               error;
+    return code == PackedOpenError::kIoError ? ServeStatus::NotFound(detail)
+                                             : ServeStatus::DataLoss(detail);
+  }
+  if (packed->dims() != problem.dims ||
+      packed->size() != static_cast<int>(problem.functions.size())) {
+    return ServeStatus::FailedPrecondition(
+        "packed image '" + options.packed_image_path + "' has " +
+        std::to_string(packed->size()) + " functions x " +
+        std::to_string(packed->dims()) + " dims, problem has " +
+        std::to_string(problem.functions.size()) + " x " +
+        std::to_string(problem.dims));
+  }
+  auto dataset = std::make_shared<const ResidentDataset>(name, problem,
+                                                         options,
+                                                         std::move(packed));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = datasets_.emplace(name, std::move(dataset));
+  if (inserted) {
+    ++cold_opens_;
+  } else {
+    ++warm_opens_;
+  }
+  if (out != nullptr) *out = it->second;
+  return ServeStatus::Ok();
 }
 
 DatasetHandle DatasetRegistry::Find(const std::string& name) const {

@@ -52,6 +52,13 @@ struct DatasetOptions {
   /// Entries per packed block (PackedStoreOptions::block_entries).
   int packed_block_entries = 128;
 
+  /// When non-empty, attach the resident packed store from this
+  /// pre-built image file (PackedFunctionStore::Open: full structural
+  /// and checksum verification) instead of building one from the
+  /// function set. Only honored by OpenOrError(), which is how attach
+  /// failures come back typed; plain Open() ignores it.
+  std::string packed_image_path;
+
   /// R-tree bulk-load fill factor.
   double fill_factor = 0.7;
 };
@@ -62,6 +69,12 @@ class ResidentDataset {
  public:
   ResidentDataset(std::string name, AssignmentProblem problem,
                   const DatasetOptions& options);
+
+  /// Adopts `packed` (may be null) instead of building an image;
+  /// OpenOrError() uses this after verifying a packed_image_path.
+  ResidentDataset(std::string name, AssignmentProblem problem,
+                  const DatasetOptions& options,
+                  std::unique_ptr<PackedFunctionStore> packed);
 
   ResidentDataset(const ResidentDataset&) = delete;
   ResidentDataset& operator=(const ResidentDataset&) = delete;
@@ -114,6 +127,18 @@ class DatasetRegistry {
   /// ignored. Returns the handle either way.
   DatasetHandle Open(const std::string& name, const AssignmentProblem& problem,
                      const DatasetOptions& options = {});
+
+  /// Open() with typed failure reporting. The fallible build step is
+  /// attaching a pre-built packed image (options.packed_image_path): an
+  /// unreadable file comes back kNotFound, a malformed/corrupt one
+  /// kDataLoss — both with the PackedOpenError class in the detail —
+  /// and an image that does not match `problem`'s shape
+  /// kFailedPrecondition. On success fills `out` (when non-null) and
+  /// returns OK. Without a packed_image_path this is exactly Open().
+  ServeStatus OpenOrError(const std::string& name,
+                          const AssignmentProblem& problem,
+                          const DatasetOptions& options,
+                          DatasetHandle* out = nullptr);
 
   /// The resident dataset `name`, or nullptr. Shares (refcount++ for
   /// the caller) without ever building.

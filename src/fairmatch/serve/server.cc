@@ -1,6 +1,9 @@
 #include "fairmatch/serve/server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "fairmatch/common/check.h"
@@ -9,6 +12,35 @@
 #include "fairmatch/topk/disk_function_lists.h"
 
 namespace fairmatch::serve {
+
+namespace {
+
+/// Engine-status → request-status mapping. The engine's typed codes
+/// (common/status.h) are a storage/runtime vocabulary; the serve codes
+/// are the client-facing one.
+ServeStatus MapEngineStatus(const Status& status) {
+  switch (status.code) {
+    case ErrorCode::kOk:
+      return ServeStatus::Ok();
+    case ErrorCode::kDataLoss:
+      return ServeStatus::DataLoss(status.message);
+    case ErrorCode::kDeadlineExceeded:
+      return ServeStatus::DeadlineExceeded(status.message);
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kResourceExhausted:
+      return ServeStatus::Unavailable(status.message);
+  }
+  return ServeStatus::Unavailable(status.message);
+}
+
+/// Transient = a fresh attempt can plausibly succeed (the fault model
+/// is transfer-level). Deadline expiry is terminal: retrying cannot
+/// recover time already spent.
+bool IsTransient(ServeCode code) {
+  return code == ServeCode::kUnavailable || code == ServeCode::kDataLoss;
+}
+
+}  // namespace
 
 /// Shared completion state behind a ResponseFuture.
 struct ResponseFuture::State {
@@ -57,6 +89,7 @@ Server::Server(DatasetRegistry* registry, ServerOptions options)
     : registry_(registry), options_(options) {
   FAIRMATCH_CHECK(registry_ != nullptr);
   if (options_.lanes < 1) options_.lanes = 1;
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
   if (options_.max_inflight == 0) {
     options_.max_inflight =
         options_.max_queue + static_cast<size_t>(options_.lanes);
@@ -143,6 +176,18 @@ ResponseFuture Server::Submit(Request request) {
       ++counters_.rejected;
       return reject(std::move(status));
     }
+    if (options_.health_threshold > 0) {
+      auto it = consecutive_data_loss_.find(request.dataset);
+      if (it != consecutive_data_loss_.end() &&
+          it->second >= options_.health_threshold) {
+        ++counters_.rejected;
+        ++counters_.shed;
+        return reject(ServeStatus::Unavailable(
+            "dataset '" + request.dataset + "' is shedding load after " +
+            std::to_string(it->second) +
+            " consecutive data-loss failures"));
+      }
+    }
     auto pending = std::make_unique<Pending>();
     pending->request = std::move(request);
     pending->dataset = std::move(dataset);
@@ -177,6 +222,32 @@ ServerCounters Server::counters() const {
   return counters_;
 }
 
+size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Server::ResetHealth(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_data_loss_.erase(dataset);
+}
+
+void Server::RecordOutcome(const std::string& dataset,
+                           const ServeStatus& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (status.code == ServeCode::kDeadlineExceeded) {
+    ++counters_.deadline_exceeded;
+  } else if (status.code == ServeCode::kDataLoss) {
+    ++counters_.data_loss;
+  }
+  if (options_.health_threshold <= 0) return;
+  if (status.ok()) {
+    consecutive_data_loss_.erase(dataset);
+  } else if (status.code == ServeCode::kDataLoss) {
+    ++consecutive_data_loss_[dataset];
+  }
+}
+
 void Server::LaneLoop(LaneWorkspace* workspace) {
   for (;;) {
     std::unique_ptr<Pending> pending;
@@ -202,7 +273,6 @@ void Server::Process(Pending* pending, LaneWorkspace* workspace) {
   response.queue_ms = pending->since_submit.ElapsedMs();
 
   const Request& request = pending->request;
-  const ResidentDataset& dataset = *pending->dataset;
   // Re-resolved, not cached from Submit: re-registration (tests stub
   // variants) must not leave a dangling info pointer in the queue.
   const MatcherInfo* info = MatcherRegistry::Global().Find(request.matcher);
@@ -213,65 +283,161 @@ void Server::Process(Pending* pending, LaneWorkspace* workspace) {
     // through test re-registration); typed error, not a CHECK.
     response.status = ServeStatus::NotFound("matcher '" + request.matcher +
                                             "' is no longer registered");
+  } else if (request.deadline_ms > 0.0 &&
+             response.queue_ms >= request.deadline_ms) {
+    // Expired while queued: fail fast instead of burning a lane on a
+    // request whose client has already given up.
+    response.status = ServeStatus::DeadlineExceeded(
+        "deadline of " + std::to_string(request.deadline_ms) +
+        " ms expired after " + std::to_string(response.queue_ms) +
+        " ms in queue");
   } else {
-    // Per-request execution state over the shared dataset, mirroring
-    // engine/batch_runner.h's per-item isolation: private ExecContext,
-    // private disk structures on the lane's recycled workspace,
-    // private packed-image view, and — for tree-mutating matchers — a
-    // private tree, so the resident one stays immutable.
-    workspace->Recycle();
-    ExecContext ctx;
-    MatcherEnv env;
-    env.problem = &dataset.problem();
-    env.tree = dataset.tree();
-    env.buffer_fraction = request.buffer_fraction;
-    env.ctx = &ctx;
-
-    std::optional<MemNodeStore> private_store;
-    std::optional<RTree> private_tree;
-    if (info->mutates_tree) {
-      private_store.emplace(dataset.problem().dims);
-      private_tree.emplace(&*private_store);
-      BuildObjectTree(dataset.problem(), &*private_tree);
-      env.tree = &*private_tree;
-    }
-
-    std::optional<DiskFunctionStore> fstore;
-    if (info->needs_disk_functions || request.disk_resident_functions) {
-      fstore.emplace(dataset.problem().functions, request.buffer_fraction,
-                     &ctx.counters(), &workspace->disk());
-      env.fn_store = &*fstore;
-      ctx.set_function_backend("disk");
-    }
-
-    std::unique_ptr<PackedFunctionStore> packed_view;
-    if (info->needs_packed_functions) {
-      packed_view = PackedFunctionStore::NewSharedView(*dataset.packed());
-      env.packed_fns = packed_view.get();
-      ctx.set_function_backend(dataset.packed()->mapped() ? "packed-mmap"
-                                                          : "packed");
-    }
-
-    std::unique_ptr<Matcher> matcher =
-        MatcherRegistry::Global().Create(request.matcher, env);
-    if (matcher == nullptr) {
-      // Validate() checks every Create precondition, so this is
-      // unreachable today; kept as a typed error so a future
-      // requirement added to Create degrades to a rejected request
-      // instead of a crashed service.
-      response.status = ServeStatus::FailedPrecondition(
-          "matcher '" + request.matcher +
-          "' cannot run against dataset '" + request.dataset + "'");
-    } else {
-      AssignResult result = matcher->Run();
-      response.matching = std::move(result.matching);
-      response.stats = std::move(result.stats);
+    for (int attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+      response.attempts = attempt;
+      response.status = RunAttempt(pending, workspace, info, attempt,
+                                   &response);
+      if (response.status.ok() || !IsTransient(response.status.code) ||
+          attempt == options_.max_attempts) {
+        break;
+      }
+      // A retry re-runs the whole attempt from scratch on the recycled
+      // workspace; if the deadline cannot survive the backoff, report
+      // the expiry now instead of sleeping through it.
+      if (request.deadline_ms > 0.0 &&
+          pending->since_submit.ElapsedMs() + options_.retry_backoff_ms >=
+              request.deadline_ms) {
+        response.status = ServeStatus::DeadlineExceeded(
+            "deadline of " + std::to_string(request.deadline_ms) +
+            " ms leaves no room to retry after: " + response.status.message);
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.retries;
+      }
+      if (options_.retry_backoff_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            options_.retry_backoff_ms));
+      }
     }
   }
 
+  RecordOutcome(request.dataset, response.status);
   response.exec_ms = exec_timer.ElapsedMs();
   response.total_ms = pending->since_submit.ElapsedMs();
   pending->state->Complete(std::move(response));
+}
+
+ServeStatus Server::RunAttempt(Pending* pending, LaneWorkspace* workspace,
+                               const MatcherInfo* info, int attempt,
+                               Response* response) {
+  const Request& request = pending->request;
+  const ResidentDataset& dataset = *pending->dataset;
+
+  // Per-attempt execution state over the shared dataset, mirroring
+  // engine/batch_runner.h's per-item isolation: private ExecContext,
+  // private disk structures on the lane's recycled workspace, private
+  // packed-image view, and — for tree-mutating matchers — a private
+  // tree, so the resident one stays immutable. Because every attempt
+  // starts from a recycled (observably fresh) workspace, a successful
+  // retry is byte-identical to a fault-free first attempt.
+  workspace->Recycle();
+  DiskManager& lane_disk = workspace->disk();
+  ExecContext ctx;
+  // The lane disk reports storage faults into this attempt's sink; the
+  // matcher unwinds at its next cancellation point.
+  lane_disk.set_error_sink(&ctx.errors());
+
+  std::optional<FaultInjector> injector;
+  if (options_.fault_plan.active()) {
+    // One schedule per (request, attempt): independent of lane count,
+    // lane placement and completion order.
+    FaultInjectorOptions plan = options_.fault_plan;
+    plan.seed = FaultInjector::DeriveSeed(plan.seed, pending->id,
+                                          static_cast<uint64_t>(attempt));
+    injector.emplace(plan);
+    lane_disk.set_fault_injector(&*injector);
+    // Checksums make injected corruption detectable (typed kDataLoss)
+    // instead of silently consumed.
+    lane_disk.set_verify_checksums(true);
+  }
+
+  if (request.deadline_ms > 0.0) {
+    // Remaining budget may already be negative after earlier attempts;
+    // the context then trips at the first cancellation point.
+    ctx.set_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             request.deadline_ms -
+                             pending->since_submit.ElapsedMs())));
+  }
+
+  MatcherEnv env;
+  env.problem = &dataset.problem();
+  env.tree = dataset.tree();
+  env.buffer_fraction = request.buffer_fraction;
+  env.ctx = &ctx;
+
+  std::optional<MemNodeStore> private_store;
+  std::optional<RTree> private_tree;
+  if (info->mutates_tree) {
+    private_store.emplace(dataset.problem().dims);
+    private_tree.emplace(&*private_store);
+    BuildObjectTree(dataset.problem(), &*private_tree);
+    env.tree = &*private_tree;
+  }
+
+  std::optional<DiskFunctionStore> fstore;
+  if (info->needs_disk_functions || request.disk_resident_functions) {
+    fstore.emplace(dataset.problem().functions, request.buffer_fraction,
+                   &ctx.counters(), &lane_disk);
+    env.fn_store = &*fstore;
+    ctx.set_function_backend("disk");
+  }
+
+  std::unique_ptr<PackedFunctionStore> packed_view;
+  if (info->needs_packed_functions) {
+    packed_view = PackedFunctionStore::NewSharedView(*dataset.packed());
+    env.packed_fns = packed_view.get();
+    ctx.set_function_backend(dataset.packed()->mapped() ? "packed-mmap"
+                                                        : "packed");
+  }
+
+  ServeStatus status;
+  std::unique_ptr<Matcher> matcher =
+      MatcherRegistry::Global().Create(request.matcher, env);
+  if (matcher == nullptr) {
+    // Validate() checks every Create precondition, so this is
+    // unreachable today; kept as a typed error so a future
+    // requirement added to Create degrades to a rejected request
+    // instead of a crashed service.
+    status = ServeStatus::FailedPrecondition(
+        "matcher '" + request.matcher + "' cannot run against dataset '" +
+        request.dataset + "'");
+  } else {
+    AssignResult result = matcher->Run();
+    status = MapEngineStatus(result.status);
+    if (status.ok()) {
+      response->matching = std::move(result.matching);
+      response->stats = std::move(result.stats);
+    } else {
+      // On a non-OK status matching/stats are empty by contract; the
+      // partial result of an aborted run must not leak out.
+      response->matching.clear();
+      response->stats = RunStats{};
+    }
+  }
+
+  if (injector.has_value()) {
+    response->injected_faults += injector->counters().injected();
+  }
+  // Unwire before the stack-owned injector and sink die; the next
+  // attempt (or item) re-wires against its own.
+  lane_disk.set_fault_injector(nullptr);
+  lane_disk.set_error_sink(nullptr);
+  lane_disk.set_verify_checksums(false);
+  return status;
 }
 
 }  // namespace fairmatch::serve

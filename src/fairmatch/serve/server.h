@@ -24,10 +24,35 @@
 // Admission control: Submit() never blocks. A request is either
 // accepted (future completes when a lane finishes it) or rejected
 // immediately with a typed status — kOverloaded when the queue is full
-// or the in-flight cap is reached, kUnavailable after Close() started,
+// or the in-flight cap is reached, kUnavailable after Close() started
+// or while a dataset is shedding load (see health below),
 // kNotFound / kFailedPrecondition / kInvalidArgument for bad requests.
 // Invalid input is never allowed to reach an engine CHECK: one bad
 // request cannot take down the service.
+//
+// Deadlines: Request::deadline_ms bounds end-to-end latency from
+// Submit(). It is enforced twice — at dequeue (a request that already
+// overstayed its deadline in the queue is failed without running) and
+// mid-run (the ExecContext deadline trips at the matcher's next
+// cancellation point). Either way the response is kDeadlineExceeded.
+//
+// Fault recovery: when ServerOptions::fault_plan is active, every
+// attempt of every request runs against a FaultInjector seeded from
+// (plan seed, request id, attempt) on the lane's workspace disk, with
+// per-page CRC verification on. Storage faults surface as typed
+// engine statuses (common/status.h), never a crash. Transient failures
+// (kUnavailable, kDataLoss) are retried up to max_attempts with a
+// fixed backoff; each attempt is a fresh isolated run on a recycled
+// workspace, so a successful retry is byte-identical to a fault-free
+// run (tests/chaos_test.cc holds it to that). Because the schedule
+// depends only on (request id, attempt), fault and retry counts are
+// invariant under lane count and completion order.
+//
+// Health: after `health_threshold` consecutive requests against one
+// dataset end in data loss, the server sheds further load on that
+// dataset (Submit rejects with kUnavailable) until a success or
+// ResetHealth() clears it — a persistently corrupt dataset degrades to
+// fast typed rejections instead of burning lanes on doomed retries.
 //
 // Shutdown: Close() stops admitting, drains every accepted request,
 // then joins the lanes. Destruction closes.
@@ -37,6 +62,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +73,11 @@
 #include "fairmatch/engine/batch_runner.h"
 #include "fairmatch/serve/dataset_registry.h"
 #include "fairmatch/serve/status.h"
+#include "fairmatch/storage/fault_injector.h"
+
+namespace fairmatch {
+struct MatcherInfo;
+}
 
 namespace fairmatch::serve {
 
@@ -62,6 +93,24 @@ struct ServerOptions {
   /// Cap on accepted-but-unfinished requests (queued + running).
   /// 0 = max_queue + lanes (the natural capacity).
   size_t max_inflight = 0;
+
+  /// Execution attempts per request (clamped to >= 1). Attempts beyond
+  /// the first fire only on transient failures (kUnavailable,
+  /// kDataLoss); kDeadlineExceeded is terminal.
+  int max_attempts = 1;
+
+  /// Fixed sleep between attempts, milliseconds.
+  double retry_backoff_ms = 0.0;
+
+  /// Consecutive final data-loss failures against one dataset before
+  /// the server sheds further load on it (0 = never shed).
+  int health_threshold = 0;
+
+  /// Deterministic storage-fault schedule applied to every attempt's
+  /// lane-workspace disk (chaos testing / the fault_recovery bench).
+  /// Inactive (all-zero rates) by default: no injector is attached and
+  /// per-page CRC verification stays off.
+  FaultInjectorOptions fault_plan;
 };
 
 /// One client request against a resident dataset.
@@ -81,6 +130,11 @@ struct Request {
 
   /// Buffer fraction for per-request disk structures.
   double buffer_fraction = 0.02;
+
+  /// End-to-end deadline from Submit(), milliseconds. 0 = none.
+  /// Enforced at dequeue and at engine cancellation points; an expired
+  /// request completes with kDeadlineExceeded.
+  double deadline_ms = 0.0;
 };
 
 /// What the client gets back. On a non-OK status, matching/stats are
@@ -99,6 +153,14 @@ struct Response {
 
   /// Server-assigned id, increasing in admission order.
   uint64_t request_id = 0;
+
+  /// Execution attempts made (0 when the request never ran: rejected
+  /// at Submit, or expired while queued).
+  int attempts = 0;
+
+  /// Result-affecting storage faults injected across all attempts
+  /// (deterministic for a given fault plan + request id).
+  int64_t injected_faults = 0;
 };
 
 /// Handle to an in-flight (or already-failed) request. Cheap to copy;
@@ -131,6 +193,14 @@ struct ServerCounters {
   int64_t accepted = 0;
   int64_t rejected = 0;
   int64_t completed = 0;
+  /// Re-run attempts after a transient failure (attempt 2 and up).
+  int64_t retries = 0;
+  /// Requests that completed with kDeadlineExceeded.
+  int64_t deadline_exceeded = 0;
+  /// Requests that completed with kDataLoss (after retries).
+  int64_t data_loss = 0;
+  /// Submits rejected because the dataset was shedding load.
+  int64_t shed = 0;
 };
 
 /// The serving core. Thread-safe: any number of threads may Submit()
@@ -164,6 +234,13 @@ class Server {
 
   ServerCounters counters() const;
 
+  /// Requests queued (accepted, not yet picked up) right now.
+  size_t queue_depth() const;
+
+  /// Clears `dataset`'s consecutive-data-loss count, re-admitting
+  /// traffic after a shed (e.g. once the storage is repaired).
+  void ResetHealth(const std::string& dataset);
+
  private:
   struct Pending;
 
@@ -176,10 +253,21 @@ class Server {
 
   void LaneLoop(LaneWorkspace* workspace);
 
-  /// Executes one admitted request on a lane. Never CHECK-fails on
-  /// request content: everything reachable from client input was
-  /// validated at Submit().
+  /// Executes one admitted request on a lane — the per-attempt loop
+  /// (recycle workspace, seed injector, run, classify, maybe retry).
+  /// Never CHECK-fails on request content: everything reachable from
+  /// client input was validated at Submit().
   void Process(Pending* pending, LaneWorkspace* workspace);
+
+  /// One isolated execution attempt; fills response matching/stats on
+  /// success and returns the mapped request status.
+  ServeStatus RunAttempt(Pending* pending, LaneWorkspace* workspace,
+                         const MatcherInfo* info, int attempt,
+                         Response* response);
+
+  /// Records the final status of a run against `dataset` (consecutive
+  /// data-loss tracking) and bumps the outcome counters.
+  void RecordOutcome(const std::string& dataset, const ServeStatus& status);
 
   DatasetRegistry* registry_;
   ServerOptions options_;
@@ -191,6 +279,9 @@ class Server {
   size_t inflight_ = 0;
   uint64_t next_id_ = 1;
   ServerCounters counters_;
+  /// Consecutive final kDataLoss outcomes per dataset name; reaching
+  /// options_.health_threshold sheds that dataset's traffic.
+  std::map<std::string, int> consecutive_data_loss_;
 
   std::vector<std::unique_ptr<LaneWorkspace>> workspaces_;
   std::vector<std::thread> lanes_;

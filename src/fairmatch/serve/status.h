@@ -29,8 +29,15 @@ enum class ServeCode {
   /// Admission control rejected the request: the bounded queue is full
   /// or the in-flight cap is reached. Retry later.
   kOverloaded,
-  /// The server is draining/closed; no new requests are accepted.
+  /// The server is draining/closed, or a dataset is shedding load
+  /// after repeated data-loss failures; no new requests are accepted.
   kUnavailable,
+  /// The request's deadline expired — while queued, or mid-run at an
+  /// engine cancellation point.
+  kDeadlineExceeded,
+  /// Storage-level data loss (failed read, checksum mismatch, decode
+  /// of corrupt bytes) survived every retry attempt.
+  kDataLoss,
 };
 
 /// Status + human-readable detail. Default-constructed is OK.
@@ -56,6 +63,12 @@ struct ServeStatus {
   static ServeStatus Unavailable(std::string message) {
     return {ServeCode::kUnavailable, std::move(message)};
   }
+  static ServeStatus DeadlineExceeded(std::string message) {
+    return {ServeCode::kDeadlineExceeded, std::move(message)};
+  }
+  static ServeStatus DataLoss(std::string message) {
+    return {ServeCode::kDataLoss, std::move(message)};
+  }
 };
 
 /// Stable identifier for logs/tests ("OK", "NOT_FOUND", ...).
@@ -73,6 +86,10 @@ inline const char* ServeCodeName(ServeCode code) {
       return "OVERLOADED";
     case ServeCode::kUnavailable:
       return "UNAVAILABLE";
+    case ServeCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ServeCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -210,7 +210,21 @@ PageHandle BufferPool::FetchPage(PageId pid) {
   counters_->page_reads++;
   frame = AllocFrame(pid);
   Frame& f = frames_[frame];
-  disk_->ReadPage(pid, f.data->bytes);
+  if (!disk_->IsLive(pid) && disk_->has_error_sink()) {
+    // A data-derived id (e.g. a child pointer decoded from a page that
+    // was itself corrupt) pointing nowhere: typed error + a zeroed
+    // frame instead of the liveness abort inside DiskManager::ReadPage.
+    // Without a sink (no run to report to) the abort below stands —
+    // that is a programmer error, not data loss.
+    disk_->ReportBadPageRef(pid, "BufferPool::FetchPage");
+    std::memset(f.data->bytes, 0, kPageSize);
+  } else {
+    // A faulted read (injected failure, checksum mismatch) already
+    // zero-filled the frame and reported to the run's sink; the zeroed
+    // page is structurally safe for every consumer, so the fetch
+    // proceeds and the run unwinds at its next cancellation point.
+    disk_->ReadPage(pid, f.data->bytes);
+  }
   f.pin_count = 1;
   Insert(pid, frame);
   EvictIfNeeded();
@@ -237,6 +251,14 @@ void BufferPool::DeletePage(PageId pid) {
     if (f.in_lru) LruRemove(frame);
     Erase(pid);
     FreeFrame(frame);
+  }
+  if (!disk_->IsLive(pid) && disk_->has_error_sink()) {
+    // Data-derived deletes (Chain frees nodes named by decoded child
+    // pointers) may chase a corrupt id; degrade to a typed error
+    // instead of DiskManager::FreePage's double-free abort. Without a
+    // sink the abort stands (programmer error).
+    disk_->ReportBadPageRef(pid, "BufferPool::DeletePage");
+    return;
   }
   disk_->FreePage(pid);
 }

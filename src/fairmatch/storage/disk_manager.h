@@ -5,6 +5,24 @@
 // the disk in-process: pages are real byte blocks (data structures
 // serialize into them), and every physical read/write is counted by the
 // buffer pool that owns this disk. See DESIGN.md "Substitutions".
+//
+// Fault surface: this is the single origin of typed storage errors for
+// the layers above. A FaultInjector (storage/fault_injector.h) can be
+// attached to fail/corrupt/delay accesses on a seeded schedule, and
+// set_verify_checksums(true) maintains a per-page CRC32 side table so a
+// corrupted read is *detected* (kDataLoss) instead of silently
+// consumed. Failures never abort: ReadPage zero-fills the destination
+// (a zeroed page parses as an empty node / empty record run everywhere
+// above), reports to the attached ErrorSink, and returns a Status the
+// buffer pool may also inspect. With no injector and checksums off
+// (the default), behavior and cost are byte-identical to the plain
+// byte store the parity suite pins.
+//
+// CHECK vs Status: liveness violations on ids that only a programming
+// error can produce (double FreePage, a WritePage past the allocation
+// frontier) still abort — with page-id/live-count diagnostics. Reads of
+// data-*derived* ids are the caller's job to guard: BufferPool checks
+// IsLive() first and degrades a bad id to kDataLoss.
 #ifndef FAIRMATCH_STORAGE_DISK_MANAGER_H_
 #define FAIRMATCH_STORAGE_DISK_MANAGER_H_
 
@@ -14,9 +32,12 @@
 #include <vector>
 
 #include "fairmatch/common/check.h"
+#include "fairmatch/common/status.h"
 #include "fairmatch/common/types.h"
 
 namespace fairmatch {
+
+class FaultInjector;
 
 /// Raw content of one disk page.
 struct PageData {
@@ -40,6 +61,8 @@ class DiskManager {
   PageId AllocatePage();
 
   /// Returns a page to the free list. The page id may be recycled.
+  /// Aborts (with diagnostics) on a double free or an out-of-range id:
+  /// frees are never data-derived.
   void FreePage(PageId pid);
 
   /// Parks every page buffer in an internal spare pool and resets the
@@ -48,17 +71,34 @@ class DiskManager {
   /// observably identical to a new one — only the 4 KB allocations are
   /// saved. This is how BatchRunner lanes reuse one storage stack
   /// across consecutive items (engine/batch_runner.h) without touching
-  /// the per-item determinism contract.
+  /// the per-item determinism contract. Fault wiring (injector, sink,
+  /// checksums) is also cleared: faults are per-run state.
   void Recycle();
 
   /// Buffers parked by Recycle() and not yet handed back out.
   size_t spare_pages() const { return spare_.size(); }
 
-  /// Copies the page content into `dst` (kPageSize bytes).
-  void ReadPage(PageId pid, std::byte* dst) const;
+  /// Copies the page content into `dst` (kPageSize bytes). On a fault
+  /// (injected read failure, checksum mismatch) `dst` is zero-filled —
+  /// structurally safe for every consumer above — the error is
+  /// reported to the attached sink, and the Status says what happened.
+  /// Aborts on a non-live `pid`: data-derived ids must be guarded with
+  /// IsLive() by the caller (BufferPool does).
+  Status ReadPage(PageId pid, std::byte* dst) const;
 
-  /// Copies `src` (kPageSize bytes) into the page.
-  void WritePage(PageId pid, const std::byte* src);
+  /// Copies `src` (kPageSize bytes) into the page. On an injected
+  /// write failure the page keeps its previous content. Aborts on a
+  /// non-live `pid`.
+  Status WritePage(PageId pid, const std::byte* src);
+
+  /// True when `pid` names a live (allocated, not freed) page. Public
+  /// so callers handing over *data-derived* ids (a child pointer
+  /// decoded from a page that may have been corrupt) can degrade an
+  /// invalid id to a typed error instead of hitting the CHECK inside
+  /// ReadPage.
+  bool IsLive(PageId pid) const {
+    return pid >= 0 && pid < num_pages() && pages_[pid] != nullptr;
+  }
 
   /// Per-physical-access latency, in microseconds. Zero (the default)
   /// keeps the disk a pure byte store, as in all paper experiments,
@@ -69,6 +109,37 @@ class DiskManager {
   /// would. Counted I/O (PerfCounters) is unaffected.
   void set_io_latency_us(int us) { io_latency_us_ = us; }
   int io_latency_us() const { return io_latency_us_; }
+
+  /// Attaches (or detaches, nullptr) a fault injector consulted on
+  /// every physical access. Not owned; per-run state (cleared by
+  /// Recycle()).
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// Attaches (or detaches, nullptr) the sink that receives every
+  /// fault as a typed error. Not owned; per-run state (cleared by
+  /// Recycle()).
+  void set_error_sink(ErrorSink* sink) { error_sink_ = sink; }
+  bool has_error_sink() const { return error_sink_ != nullptr; }
+  /// The attached sink (nullptr when detached). Layers above use it to
+  /// report their own decode-level data loss (bad record index,
+  /// malformed node) with precise messages.
+  ErrorSink* error_sink() const { return error_sink_; }
+
+  /// Maintains a CRC32 per page (computed on write/allocate, verified
+  /// on read) so corrupted reads surface as kDataLoss. Off by default:
+  /// the paper benches run the disk as a trusted byte store and the
+  /// parity suite pins that happy path. Enabling mid-life checksums
+  /// the currently live pages.
+  void set_verify_checksums(bool on);
+  bool verify_checksums() const { return verify_checksums_; }
+
+  /// Reports a data-derived reference to a non-live page as kDataLoss
+  /// to the attached sink (no-op on the page store itself). Callers
+  /// use this right after an IsLive() guard fails.
+  void ReportBadPageRef(PageId pid, const char* origin) const;
 
   /// Number of pages ever allocated (capacity of the simulated file,
   /// including freed pages). Used to size buffers as a % of the file.
@@ -83,9 +154,9 @@ class DiskManager {
   int64_t size_bytes() const { return num_pages() * kPageSize; }
 
  private:
-  bool IsLive(PageId pid) const {
-    return pid >= 0 && pid < num_pages() && pages_[pid] != nullptr;
-  }
+  /// Aborts with page-id/live-count diagnostics when `pid` is not
+  /// live. `op` names the caller in the message.
+  void CheckLive(PageId pid, const char* op) const;
 
   /// A zero-filled page buffer: from the spare pool when available.
   std::unique_ptr<PageData> TakePage();
@@ -93,7 +164,11 @@ class DiskManager {
   std::vector<std::unique_ptr<PageData>> pages_;
   std::vector<PageId> free_list_;
   std::vector<std::unique_ptr<PageData>> spare_;  // parked by Recycle()
+  std::vector<uint32_t> crcs_;  // per-page CRC32; maintained when verifying
   int io_latency_us_ = 0;
+  bool verify_checksums_ = false;
+  FaultInjector* fault_injector_ = nullptr;
+  ErrorSink* error_sink_ = nullptr;
 };
 
 }  // namespace fairmatch

@@ -1,0 +1,93 @@
+#include "fairmatch/storage/fault_injector.h"
+
+#include "fairmatch/common/types.h"
+
+namespace fairmatch {
+
+namespace {
+
+/// splitmix64 finalizer: a well-mixed 64-bit hash of the state.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Upper 53 bits as a uniform double in [0, 1).
+double UnitFrom(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Decision streams: independent draws per access index.
+constexpr uint64_t kReadStream = 0x72656164;    // which read fault fires
+constexpr uint64_t kWriteStream = 0x77726974;   // whether a write drops
+constexpr uint64_t kSpikeStream = 0x7370696B;   // whether to stall
+constexpr uint64_t kDamageStream = 0x64616D67;  // where corruption lands
+
+}  // namespace
+
+uint64_t FaultInjector::DeriveSeed(uint64_t base, uint64_t a, uint64_t b) {
+  return Mix64(Mix64(base ^ Mix64(a)) ^ Mix64(b));
+}
+
+double FaultInjector::Unit(uint64_t salt) const {
+  return UnitFrom(Mix64(options_.seed ^ Mix64(op_ ^ (salt << 32))));
+}
+
+Status FaultInjector::OnRead(PageId pid, std::byte* page, int* spike_us) {
+  *spike_us = 0;
+  if (options_.spike_rate > 0.0 && Unit(kSpikeStream) < options_.spike_rate) {
+    ++counters_.spikes;
+    *spike_us = options_.spike_us;
+  }
+  const double u = Unit(kReadStream);
+  const uint64_t op = op_++;
+  if (u < options_.read_fail_rate) {
+    ++counters_.read_failures;
+    return Status::Unavailable("injected read failure on page " +
+                               std::to_string(pid));
+  }
+  if (u < options_.read_fail_rate + options_.corrupt_rate) {
+    ++counters_.corruptions;
+    // Flip 1..8 bytes at schedule-determined offsets with nonzero masks.
+    uint64_t damage = Mix64(options_.seed ^ Mix64(op ^ (kDamageStream << 32)));
+    const int flips = 1 + static_cast<int>(damage & 7u);
+    for (int i = 0; i < flips; ++i) {
+      damage = Mix64(damage);
+      const size_t offset = static_cast<size_t>(damage % kPageSize);
+      const auto mask =
+          static_cast<unsigned char>(((damage >> 32) & 0xFFu) | 1u);
+      page[offset] ^= std::byte{mask};
+    }
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::OnWrite(PageId pid, int* spike_us) {
+  *spike_us = 0;
+  if (options_.spike_rate > 0.0 && Unit(kSpikeStream) < options_.spike_rate) {
+    ++counters_.spikes;
+    *spike_us = options_.spike_us;
+  }
+  const double u = Unit(kWriteStream);
+  ++op_;
+  if (u < options_.write_fail_rate) {
+    ++counters_.write_failures;
+    return Status::Unavailable("injected write failure on page " +
+                               std::to_string(pid));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::OnMap(const std::string& path) {
+  const double u = Unit(kReadStream);
+  ++op_;
+  if (u < options_.read_fail_rate) {
+    ++counters_.read_failures;
+    return Status::Unavailable("injected map failure for " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace fairmatch

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <new>
 
+#include "fairmatch/storage/fault_injector.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define FAIRMATCH_HAVE_MMAP 1
 #include <fcntl.h>
@@ -21,10 +23,22 @@ void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
+/// Consults the injector's map stream; true = refuse this attach.
+bool InjectedMapFailure(FaultInjector* injector, const std::string& path,
+                        std::string* error) {
+  if (injector == nullptr) return false;
+  Status status = injector->OnMap(path);
+  if (status.ok()) return false;
+  SetError(error, status.message);
+  return true;
+}
+
 }  // namespace
 
-bool MmapFile::Map(const std::string& path, std::string* error) {
+bool MmapFile::Map(const std::string& path, std::string* error,
+                   FaultInjector* injector) {
   Reset();
+  if (InjectedMapFailure(injector, path, error)) return false;
 #if defined(FAIRMATCH_HAVE_MMAP)
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -52,9 +66,18 @@ bool MmapFile::Map(const std::string& path, std::string* error) {
   data_ = static_cast<std::byte*>(addr);
   size_ = size;
   mapped_ = true;
+  path_ = path;
   return true;
 #else
-  // Portable fallback: read the whole file into an owned buffer.
+  // No OS mapping available: the owned-copy path is the only one.
+  return Load(path, error, nullptr);
+#endif
+}
+
+bool MmapFile::Load(const std::string& path, std::string* error,
+                    FaultInjector* injector) {
+  Reset();
+  if (InjectedMapFailure(injector, path, error)) return false;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     SetError(error, "fopen failed for " + path);
@@ -80,12 +103,30 @@ bool MmapFile::Map(const std::string& path, std::string* error) {
   data_ = buffer;
   size_ = size;
   mapped_ = false;
+  path_ = path;
+  return true;
+}
+
+bool MmapFile::SizeIntact() const {
+  if (!valid() || !mapped_) return valid();
+#if defined(FAIRMATCH_HAVE_MMAP)
+  struct stat st;
+  if (::stat(path_.c_str(), &st) != 0 || st.st_size < 0) {
+    // The file vanished out from under the mapping; the pages already
+    // resident stay readable, but treat it as no longer intact.
+    return false;
+  }
+  return static_cast<size_t>(st.st_size) >= size_;
+#else
   return true;
 #endif
 }
 
 void MmapFile::Reset() {
-  if (data_ == nullptr) return;
+  if (data_ == nullptr) {
+    path_.clear();
+    return;
+  }
 #if defined(FAIRMATCH_HAVE_MMAP)
   if (mapped_) {
     ::munmap(data_, size_);
@@ -98,6 +139,7 @@ void MmapFile::Reset() {
   data_ = nullptr;
   size_ = 0;
   mapped_ = false;
+  path_.clear();
 }
 
 bool MmapFile::Write(const std::string& path, const void* bytes, size_t size,

@@ -13,13 +13,27 @@
 // filesystem, not the simulated counted-I/O disk: the packed store's
 // probes are memory reads by design, which is exactly the property the
 // scale bench measures against DiskFunctionStore's counted pages.
+//
+// Robustness notes:
+//  * A mapped range is only as stable as the file behind it — if
+//    another process truncates the file, touching pages past the new
+//    end raises SIGBUS. SizeIntact() re-stats the file so callers can
+//    detect the shrink as typed data loss before dereferencing.
+//  * Load() is the always-available owned-copy path (the same code the
+//    non-POSIX fallback uses): it trades the zero-copy property for
+//    immunity to concurrent file mutation.
+//  * Map()/Load() accept an optional FaultInjector whose OnMap stream
+//    can deterministically refuse the attach (chaos testing).
 #ifndef FAIRMATCH_STORAGE_MMAP_FILE_H_
 #define FAIRMATCH_STORAGE_MMAP_FILE_H_
 
 #include <cstddef>
 #include <string>
+#include <utility>
 
 namespace fairmatch {
+
+class FaultInjector;
 
 /// A read-only byte range backed by a mapped (or loaded) file.
 class MmapFile {
@@ -40,8 +54,16 @@ class MmapFile {
 
   /// Maps (POSIX) or loads `path` read-only. On failure returns false
   /// and, when `error` is non-null, stores a one-line reason. Any
-  /// previous mapping is released first.
-  bool Map(const std::string& path, std::string* error = nullptr);
+  /// previous mapping is released first. When `injector` is non-null
+  /// its OnMap stream may deterministically refuse the attach.
+  bool Map(const std::string& path, std::string* error = nullptr,
+           FaultInjector* injector = nullptr);
+
+  /// Reads `path` into an owned buffer (never an OS mapping) — immune
+  /// to the file being truncated or rewritten afterwards. Same failure
+  /// contract as Map().
+  bool Load(const std::string& path, std::string* error = nullptr,
+            FaultInjector* injector = nullptr);
 
   /// Releases the mapping / buffer.
   void Reset();
@@ -51,6 +73,14 @@ class MmapFile {
   bool valid() const { return data_ != nullptr; }
   /// True when the range is an OS mapping rather than an owned copy.
   bool mapped() const { return mapped_; }
+  /// Path this range was attached from (empty when not valid()).
+  const std::string& path() const { return path_; }
+
+  /// True when the backing file still covers the attached range. Only
+  /// an OS mapping can lose bytes after attach (an owned copy is
+  /// always intact); a false return means dereferencing tail pages
+  /// could SIGBUS and the caller should treat the range as data loss.
+  bool SizeIntact() const;
 
   /// Writes `size` bytes to `path` (creating or truncating it). Returns
   /// false and fills `error` on failure.
@@ -62,14 +92,17 @@ class MmapFile {
     data_ = other->data_;
     size_ = other->size_;
     mapped_ = other->mapped_;
+    path_ = std::move(other->path_);
     other->data_ = nullptr;
     other->size_ = 0;
     other->mapped_ = false;
+    other->path_.clear();
   }
 
   std::byte* data_ = nullptr;
   size_t size_ = 0;
   bool mapped_ = false;
+  std::string path_;
 };
 
 }  // namespace fairmatch

@@ -35,7 +35,21 @@ void PagedFile::Seal() {
 
 void PagedFile::Read(int64_t index, void* dst) const {
   FAIRMATCH_CHECK(sealed_);
-  FAIRMATCH_CHECK(index >= 0 && index < num_records_);
+  if (index < 0 || index >= num_records_) {
+    // Indices can be data-derived (a position read from a page that
+    // was corrupt); inside a sinked run that is data loss, not a
+    // programmer error. Hand back a zeroed record — every record type
+    // above parses zeros safely — and let the run unwind.
+    if (ErrorSink* sink = pool_->disk()->error_sink()) {
+      sink->Report(ErrorCode::kDataLoss,
+                   "PagedFile::Read: record index " + std::to_string(index) +
+                       " out of range [0, " + std::to_string(num_records_) +
+                       ")");
+      std::memset(dst, 0, static_cast<size_t>(record_size_));
+      return;
+    }
+    FAIRMATCH_CHECK(index >= 0 && index < num_records_);
+  }
   int64_t page_index = index / records_per_page_;
   int slot = static_cast<int>(index % records_per_page_);
   PageHandle handle = pool_->FetchPage(pages_[page_index]);

@@ -52,12 +52,40 @@ DiskFunctionStore::DiskFunctionStore(const FunctionSet& fns,
 std::pair<double, FunctionId> DiskFunctionStore::Entry(int dim, int pos) {
   ListRecord rec;
   lists_[dim]->Read(pos, &rec);
+  if (rec.fid < 0 || rec.fid >= num_functions_) {
+    // A record decoded off a faulted page (zero-filled reads come back
+    // as fid 0, but undetected corruption can carry any bits): inside a
+    // sinked run report data loss and hand back a harmless entry so the
+    // caller's id-indexed structures stay in bounds.
+    if (ErrorSink* sink = disk_->error_sink()) {
+      sink->Report(ErrorCode::kDataLoss,
+                   "DiskFunctionStore::Entry: decoded function id " +
+                       std::to_string(rec.fid) + " out of range");
+      return {0.0, 0};
+    }
+  }
   return {rec.coef, rec.fid};
 }
 
 double DiskFunctionStore::RandomCoef(int dim, FunctionId fid) {
+  if (fid < 0 || fid >= num_functions_) {
+    if (ErrorSink* sink = disk_->error_sink()) {
+      sink->Report(ErrorCode::kDataLoss,
+                   "DiskFunctionStore::RandomCoef: function id " +
+                       std::to_string(fid) + " out of range");
+      return 0.0;
+    }
+    FAIRMATCH_CHECK(fid >= 0 && fid < num_functions_);
+  }
   ListRecord rec;
   lists_[dim]->Read(pos_[dim][fid], &rec);
+  if (rec.fid != fid && disk_->has_error_sink()) {
+    disk_->error_sink()->Report(
+        ErrorCode::kDataLoss,
+        "DiskFunctionStore::RandomCoef: record for function " +
+            std::to_string(fid) + " decoded as " + std::to_string(rec.fid));
+    return 0.0;
+  }
   FAIRMATCH_DCHECK(rec.fid == fid);
   return rec.coef;
 }
@@ -82,6 +110,18 @@ int DiskFunctionStore::ReadListPage(int dim, int64_t page_index,
   out->resize(lists_[dim]->records_per_page());
   int count = lists_[dim]->ReadPage(page_index, out->data());
   out->resize(count);
+  if (ErrorSink* sink = disk_->error_sink()) {
+    // Sanitize before the batch consumers (SB-alt) index their
+    // fid-sized arrays with these records.
+    for (ListRecord& rec : *out) {
+      if (rec.fid < 0 || rec.fid >= num_functions_) {
+        sink->Report(ErrorCode::kDataLoss,
+                     "DiskFunctionStore::ReadListPage: decoded function id " +
+                         std::to_string(rec.fid) + " out of range");
+        rec = ListRecord{0.0, 0};
+      }
+    }
+  }
   return count;
 }
 

@@ -83,9 +83,16 @@ class DiskFunctionStore : public FunctionIndexBase {
   int64_t pages_per_list() const { return lists_[0]->num_pages(); }
   int records_per_page() const { return lists_[0]->records_per_page(); }
 
-  /// Capacity/priority metadata (in-memory).
-  double gamma_of(FunctionId fid) const { return gamma_[fid]; }
-  int capacity_of(FunctionId fid) const { return capacity_[fid]; }
+  /// Capacity/priority metadata (in-memory). Ids are clamped: an id a
+  /// caller obtained from a corrupt record degrades to neutral metadata
+  /// instead of indexing out of bounds (the decode path already
+  /// reported the data loss).
+  double gamma_of(FunctionId fid) const {
+    return fid >= 0 && fid < num_functions_ ? gamma_[fid] : 0.0;
+  }
+  int capacity_of(FunctionId fid) const {
+    return fid >= 0 && fid < num_functions_ ? capacity_[fid] : 0;
+  }
 
   PerfCounters& counters() { return *counters_; }
   void ResetCounters();

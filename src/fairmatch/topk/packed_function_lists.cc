@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "fairmatch/common/check.h"
+#include "fairmatch/common/crc32.h"
 #include "fairmatch/common/simd.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -54,27 +55,6 @@ struct BlockHeaderRaw {
 static_assert(sizeof(BlockHeaderRaw) == 24, "block header layout drifted");
 
 size_t AlignUp8(size_t x) { return (x + 7) & ~size_t{7}; }
-
-/// CRC32 (reflected 0xEDB88320) streaming update; seed the state with
-/// 0xFFFFFFFF and xor the final state with 0xFFFFFFFF.
-uint32_t Crc32Update(uint32_t state, const void* data, size_t len) {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
-  }
-  return state;
-}
 
 uint32_t BlockChecksum(const BlockHeaderRaw& header, const std::byte* payload,
                        size_t payload_bytes) {
@@ -282,11 +262,16 @@ PackedFunctionStore::~PackedFunctionStore() {
 }
 
 std::unique_ptr<PackedFunctionStore> PackedFunctionStore::Open(
-    const std::string& path, std::string* error) {
+    const std::string& path, std::string* error,
+    PackedOpenError* error_code) {
+  if (error_code != nullptr) *error_code = PackedOpenError::kNone;
   std::unique_ptr<PackedFunctionStore> store(new PackedFunctionStore());
-  if (!store->file_.Map(path, error)) return nullptr;
+  if (!store->file_.Map(path, error)) {
+    if (error_code != nullptr) *error_code = PackedOpenError::kIoError;
+    return nullptr;
+  }
   if (!store->Attach(store->file_.data(), store->file_.size(),
-                     /*verify_checksums=*/true, error)) {
+                     /*verify_checksums=*/true, error, error_code)) {
     return nullptr;
   }
   return store;
@@ -316,26 +301,39 @@ std::unique_ptr<PackedFunctionStore> PackedFunctionStore::NewSharedView(
 }
 
 bool PackedFunctionStore::Attach(const std::byte* data, size_t size,
-                                 bool verify_checksums, std::string* error) {
-  const auto fail = [error](const char* what) {
+                                 bool verify_checksums, std::string* error,
+                                 PackedOpenError* error_code) {
+  const auto fail = [error, error_code](PackedOpenError code,
+                                        const char* what) {
     if (error != nullptr) *error = what;
+    if (error_code != nullptr) *error_code = code;
     return false;
   };
-  if (size < sizeof(FileHeaderRaw)) return fail("image smaller than header");
+  if (size < sizeof(FileHeaderRaw)) {
+    return fail(PackedOpenError::kTruncated, "image smaller than header");
+  }
   FileHeaderRaw h;
   std::memcpy(&h, data, sizeof(h));
-  if (h.magic != kMagic) return fail("bad magic");
-  if (h.version != kVersion) return fail("unsupported version");
+  if (h.magic != kMagic) return fail(PackedOpenError::kBadMagic, "bad magic");
+  if (h.version != kVersion) {
+    return fail(PackedOpenError::kBadHeader, "unsupported version");
+  }
   if (h.dims < 1 || h.dims > static_cast<uint32_t>(kMaxDims)) {
-    return fail("dims out of range");
+    return fail(PackedOpenError::kBadHeader, "dims out of range");
   }
   if (h.num_functions < 1 || h.num_functions > (1u << 30)) {
-    return fail("function count out of range");
+    return fail(PackedOpenError::kBadHeader, "function count out of range");
   }
   if (h.block_entries < 1 || h.block_entries > h.num_functions) {
-    return fail("block_entries out of range");
+    return fail(PackedOpenError::kBadHeader, "block_entries out of range");
   }
-  if (h.file_size != size) return fail("file size mismatch (truncated?)");
+  if (h.file_size > size) {
+    return fail(PackedOpenError::kTruncated,
+                "file size mismatch (truncated?)");
+  }
+  if (h.file_size != size) {
+    return fail(PackedOpenError::kBadHeader, "file size mismatch");
+  }
 
   const int dims = static_cast<int>(h.dims);
   const int n = static_cast<int>(h.num_functions);
@@ -352,7 +350,8 @@ bool PackedFunctionStore::Attach(const std::byte* data, size_t size,
   // a header that disagrees is rejected rather than trusted.
   if (h.eff_offset != eff_offset || h.dir_offset != dir_offset ||
       h.blocks_offset != blocks_offset || size < blocks_offset) {
-    return fail("region offsets inconsistent with header");
+    return fail(PackedOpenError::kBadHeader,
+                "region offsets inconsistent with header");
   }
 
   data_ = data;
@@ -382,37 +381,42 @@ bool PackedFunctionStore::Attach(const std::byte* data, size_t size,
     for (int b = 0; b < num_blocks; ++b) {
       const size_t off = BlockOffset(d, b);
       if (off + sizeof(BlockHeaderRaw) > blocks_size_) {
-        return fail("block header out of bounds");
+        return fail(PackedOpenError::kBadDirectory,
+                    "block header out of bounds");
       }
       BlockHeaderRaw bh;
       std::memcpy(&bh, blocks_ + off, sizeof(bh));
       const int expect =
           std::min(block_entries, n - b * block_entries);
       if (bh.count != static_cast<uint32_t>(expect)) {
-        return fail("block count mismatch");
+        return fail(PackedOpenError::kBadBlock, "block count mismatch");
       }
       if (bh.id_bytes != 1 && bh.id_bytes != 2 && bh.id_bytes != 4) {
-        return fail("unsupported id width");
+        return fail(PackedOpenError::kBadBlock, "unsupported id width");
       }
       const size_t payload = static_cast<size_t>(bh.count) * bh.id_bytes;
       if (off + sizeof(BlockHeaderRaw) + payload > blocks_size_) {
-        return fail("block payload out of bounds");
+        return fail(PackedOpenError::kBadBlock,
+                    "block payload out of bounds");
       }
       if (b > 0 && bh.max_impact > prev_impact) {
-        return fail("block impacts not descending");
+        return fail(PackedOpenError::kBadBlock,
+                    "block impacts not descending");
       }
       prev_impact = bh.max_impact;
       if (verify_checksums) {
         const std::byte* bytes = blocks_ + off + sizeof(BlockHeaderRaw);
         if (BlockChecksum(bh, bytes, payload) != bh.checksum) {
-          return fail("block checksum mismatch");
+          return fail(PackedOpenError::kBadChecksum,
+                      "block checksum mismatch");
         }
         simd::UnpackIds(reinterpret_cast<const unsigned char*>(bytes),
                         bh.id_bytes, bh.base_fid,
                         static_cast<int>(bh.count), scratch.data());
         for (uint32_t i = 0; i < bh.count; ++i) {
           if (scratch[i] < 0 || scratch[i] >= n) {
-            return fail("decoded function id out of range");
+            return fail(PackedOpenError::kBadBlock,
+                        "decoded function id out of range");
           }
         }
       }

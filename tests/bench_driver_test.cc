@@ -75,6 +75,7 @@ TEST_F(BenchDriverTest, RegistryHasAllBuiltinFigures) {
   const std::vector<std::string> expected = {
       "ablation_sb",
       "batch_throughput",
+      "fault_recovery",
       "fig08_optimizations",
       "fig09_dimensionality",
       "fig10_function_cardinality",
@@ -333,14 +334,16 @@ TEST_F(BenchDriverTest, ServingLatencyRowsAreLaneAndRateInvariant) {
   const std::vector<ReportRow> rows = RunFigure("serving_latency", 1, {});
 
   std::map<std::string, std::vector<ReportRow>> by_algo;
+  std::map<std::string, ReportRow> overload;
   std::set<std::string> sections;
   for (const ReportRow& row : rows) {
     EXPECT_EQ(row.figure, "serving_latency");
     sections.insert(row.section);
-    if (row.section != "open") by_algo[row.algorithm].push_back(row);
+    if (row.section.rfind("rate", 0) == 0) by_algo[row.algorithm].push_back(row);
+    if (row.section == "overload") overload.emplace(row.algorithm, row);
   }
-  EXPECT_EQ(sections,
-            (std::set<std::string>{"rate500", "rate2000", "open"}));
+  EXPECT_EQ(sections, (std::set<std::string>{"rate500", "rate2000", "open",
+                                             "overload"}));
   const std::set<std::string> expected_algos = {
       "SB",     "SB:p99",        "SB-Packed", "SB-Packed:p99",
       "SB-alt", "SB-alt:p99",    "mix:throughput"};
@@ -357,6 +360,19 @@ TEST_F(BenchDriverTest, ServingLatencyRowsAreLaneAndRateInvariant) {
       EXPECT_GT(algo_rows[0].loops, 0) << algo;  // the matching digest
     }
   }
+
+  // The overload section's counts are forced by the admission limits
+  // (1 lane held + queue bound 4 + 12-request burst): the outcomes
+  // partition the submitted set and both rejection paths fire.
+  for (const char* name : {"submitted", "ok", "rejected", "deadline"}) {
+    ASSERT_EQ(overload.count(name), 1u) << name;
+  }
+  EXPECT_EQ(overload.at("ok").io_accesses +
+                overload.at("rejected").io_accesses +
+                overload.at("deadline").io_accesses,
+            overload.at("submitted").io_accesses);
+  EXPECT_GT(overload.at("rejected").io_accesses, 0);
+  EXPECT_GT(overload.at("deadline").io_accesses, 0);
 }
 
 // End-to-end plumbing of the --serve-lanes/--arrival/--requests flags:
@@ -380,8 +396,8 @@ TEST_F(BenchDriverTest, ServeFlagsPlumbThroughRunDriver) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   const std::vector<std::string> lines = SplitLines(buffer.str());
-  // header + 2 lane cells x 7 rate rows + 2 open rows
-  ASSERT_EQ(lines.size(), 1u + 2 * 7 + 2);
+  // header + 2 lane cells x 7 rate rows + 2 open rows + 4 overload rows
+  ASSERT_EQ(lines.size(), 1u + 2 * 7 + 2 + 4);
   EXPECT_EQ(lines[0], CsvHeader());
   std::set<std::string> rate_xs;
   for (size_t i = 1; i < lines.size(); ++i) {

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "fairmatch/assign/naive_matcher.h"
+#include "fairmatch/storage/fault_injector.h"
+#include "fairmatch/storage/mmap_file.h"
 #include "fairmatch/topk/function_lists.h"
 #include "fairmatch/topk/packed_function_lists.h"
 #include "fairmatch/topk/reverse_top1.h"
@@ -306,6 +308,113 @@ TEST_F(PackedFileTest, TruncatedFileIsRejected) {
         << "kept " << keep;
     EXPECT_FALSE(error.empty());
   }
+}
+
+// Open() classifies every rejection (PackedOpenError) so callers — the
+// serving registry in particular — can distinguish a missing file from
+// a damaged image without parsing message strings.
+TEST_F(PackedFileTest, OpenReportsTypedErrorCodes) {
+  const std::vector<unsigned char> bytes = ReadAll(path_);
+  std::string error;
+  PackedOpenError code = PackedOpenError::kBadBlock;  // must be reset
+
+  ASSERT_NE(PackedFunctionStore::Open(path_, &error, &code), nullptr);
+  EXPECT_EQ(code, PackedOpenError::kNone);
+
+  EXPECT_EQ(PackedFunctionStore::Open(path_ + ".missing", &error, &code),
+            nullptr);
+  EXPECT_EQ(code, PackedOpenError::kIoError);
+
+  std::vector<unsigned char> damaged = bytes;
+  damaged[0] ^= 0xff;
+  WriteAll(path_, damaged);
+  EXPECT_EQ(PackedFunctionStore::Open(path_, &error, &code), nullptr);
+  EXPECT_EQ(code, PackedOpenError::kBadMagic);
+
+  WriteAll(path_, std::vector<unsigned char>(bytes.begin(),
+                                             bytes.end() - 16));
+  EXPECT_EQ(PackedFunctionStore::Open(path_, &error, &code), nullptr);
+  EXPECT_EQ(code, PackedOpenError::kTruncated);
+
+  damaged = bytes;
+  uint64_t blocks_offset = 0;
+  std::memcpy(&blocks_offset, damaged.data() + 48, sizeof(blocks_offset));
+  damaged[blocks_offset + 24] ^= 0x01;  // first payload byte
+  WriteAll(path_, damaged);
+  EXPECT_EQ(PackedFunctionStore::Open(path_, &error, &code), nullptr);
+  EXPECT_EQ(code, PackedOpenError::kBadChecksum);
+  EXPECT_STREQ(PackedOpenErrorName(code), "BAD_CHECKSUM");
+}
+
+// --- the mapping seam under edge cases -------------------------------
+
+TEST(MmapFileTest, ZeroLengthFileIsATypedFailureOnBothPaths) {
+  const std::string path = ::testing::TempDir() + "/mmap_empty_test";
+  WriteAll(path, {});
+  MmapFile file;
+  std::string error;
+  EXPECT_FALSE(file.Map(path, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(file.valid());
+  error.clear();
+  EXPECT_FALSE(file.Load(path, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, ShrunkBackingFileIsDetectedBeforeDereference) {
+  const std::string path = ::testing::TempDir() + "/mmap_shrink_test";
+  WriteAll(path, std::vector<unsigned char>(8192, 0x2a));
+  MmapFile file;
+  std::string error;
+  ASSERT_TRUE(file.Map(path, &error)) << error;
+  EXPECT_EQ(file.path(), path);
+  EXPECT_TRUE(file.SizeIntact());
+  if (file.mapped()) {
+    // Another process truncates the file behind the mapping: touching
+    // tail pages would SIGBUS, so the re-stat must flag the range
+    // BEFORE anyone dereferences it.
+    WriteAll(path, std::vector<unsigned char>(16, 0x2a));
+    EXPECT_FALSE(file.SizeIntact());
+    // Growing it back past the attached range makes it safe again.
+    WriteAll(path, std::vector<unsigned char>(9000, 0x2a));
+    EXPECT_TRUE(file.SizeIntact());
+    // A vanished file cannot be trusted either.
+    std::remove(path.c_str());
+    EXPECT_FALSE(file.SizeIntact());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, LoadedCopySurvivesBackingFileMutation) {
+  const std::string path = ::testing::TempDir() + "/mmap_load_test";
+  const std::vector<unsigned char> payload(4096, 0x5c);
+  WriteAll(path, payload);
+  MmapFile file;
+  std::string error;
+  ASSERT_TRUE(file.Load(path, &error)) << error;
+  EXPECT_TRUE(file.valid());
+  EXPECT_FALSE(file.mapped()) << "Load must never hand out an OS mapping";
+  ASSERT_EQ(file.size(), payload.size());
+  // The owned copy is immune to truncation and even deletion.
+  std::remove(path.c_str());
+  EXPECT_TRUE(file.SizeIntact());
+  EXPECT_EQ(std::memcmp(file.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(MmapFileTest, InjectorCanRefuseTheAttachDeterministically) {
+  const std::string path = ::testing::TempDir() + "/mmap_inject_test";
+  WriteAll(path, std::vector<unsigned char>(64, 0x11));
+  FaultInjectorOptions plan;
+  plan.seed = 3;
+  plan.read_fail_rate = 1.0;
+  FaultInjector injector(plan);
+  MmapFile file;
+  std::string error;
+  EXPECT_FALSE(file.Map(path, &error, &injector));
+  EXPECT_FALSE(file.valid());
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
 }
 
 }  // namespace

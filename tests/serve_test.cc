@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -512,6 +513,62 @@ TEST(DatasetLifecycleTest, CloseUnderInflightTrafficIsSafe) {
   late.dataset = "ds";
   late.matcher = "SB";
   EXPECT_EQ(server.Execute(late).status.code, ServeCode::kNotFound);
+}
+
+// OpenOrError attaches a pre-built packed image and reports attach
+// failures typed, with the PackedOpenError class in the detail — the
+// difference between "deploy the file" (kNotFound), "rebuild the image"
+// (kDataLoss) and "wrong problem" (kFailedPrecondition).
+TEST(DatasetLifecycleTest, OpenOrErrorReportsTypedPackedImageFailures) {
+  const AssignmentProblem problem = SmallProblem(49900);
+  const std::string path = ::testing::TempDir() + "/serve_packed_image.pkfl";
+  std::string error;
+  ASSERT_TRUE(PackedFunctionStore::WriteFile(problem.functions, path,
+                                             /*block_entries=*/64, &error))
+      << error;
+
+  DatasetRegistry registry;
+  DatasetOptions options;
+  options.packed_image_path = path;
+
+  // A good image opens cold and serves the *-Packed variants.
+  DatasetHandle handle;
+  ASSERT_TRUE(registry.OpenOrError("ds", problem, options, &handle).ok());
+  ASSERT_NE(handle, nullptr);
+  ASSERT_NE(handle->packed(), nullptr);
+  EXPECT_EQ(handle->packed()->size(),
+            static_cast<int>(problem.functions.size()));
+
+  // Missing file: kNotFound, classed IO_ERROR.
+  options.packed_image_path = path + ".missing";
+  ServeStatus status = registry.OpenOrError("other", problem, options);
+  EXPECT_EQ(status.code, ServeCode::kNotFound);
+  EXPECT_NE(status.message.find("IO_ERROR"), std::string::npos)
+      << status.message;
+
+  // Image for a different problem shape: kFailedPrecondition.
+  options.packed_image_path = path;
+  AssignmentProblem mismatched = problem;
+  mismatched.functions.pop_back();
+  status = registry.OpenOrError("other", mismatched, options);
+  EXPECT_EQ(status.code, ServeCode::kFailedPrecondition);
+
+  // Damaged image: kDataLoss, with the corruption class named.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_SET);
+    std::fputc('X', f);  // clobber the magic
+    std::fclose(f);
+  }
+  status = registry.OpenOrError("other", problem, options);
+  EXPECT_EQ(status.code, ServeCode::kDataLoss);
+  EXPECT_NE(status.message.find("BAD_MAGIC"), std::string::npos)
+      << status.message;
+
+  // The already-resident dataset is untouched by the failures above.
+  EXPECT_TRUE(registry.OpenOrError("ds", problem, options).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -38,6 +38,24 @@ TEST(DiskManagerTest, FreePagesAreRecycled) {
   EXPECT_EQ(disk.num_pages(), 1);
 }
 
+// Liveness violations on ids only a programming error can produce stay
+// fatal (disk_manager.h "CHECK vs Status"): these pin both the abort
+// and its page-id diagnostics. Data-*derived* ids are different — the
+// caller guards them with IsLive() and degrades to kDataLoss.
+TEST(DiskManagerDeathTest, DoubleFreeAbortsWithDiagnostics) {
+  DiskManager disk;
+  PageId a = disk.AllocatePage();
+  disk.FreePage(a);
+  EXPECT_DEATH(disk.FreePage(a), "FreePage: page 0 is not live");
+}
+
+TEST(DiskManagerDeathTest, OutOfRangeReadAbortsWithDiagnostics) {
+  DiskManager disk;
+  disk.AllocatePage();
+  std::byte out[kPageSize];
+  EXPECT_DEATH(disk.ReadPage(7, out), "ReadPage: page 7 is not live");
+}
+
 // Recycle() must leave the manager observably identical to a freshly
 // constructed one — page ids restart at zero and reallocated pages come
 // back zeroed — while reusing the parked buffers (that reuse is what
