@@ -307,6 +307,74 @@ def check_fault_recovery(rows):
         )
 
 
+def check_update_throughput(rows):
+    """update_throughput carries the update-vs-rebuild differential onto
+    the report surface: in every batch-size cell the query:updated row
+    (SB on the incrementally updated epoch) and the query:rebuilt row
+    (SB on a from-scratch rebuild of the identical final problem) must
+    carry the same matching digest (loops) and pair count — the update
+    path is required to be byte-exact. The apply rows' updates-applied
+    and R-tree node-edit counts are pure functions of the cell's seed
+    and must be non-zero and consistent between the two apply rows."""
+    by_cell = {}
+    for row in rows:
+        by_cell.setdefault(row["x"], {}).setdefault(
+            row["algorithm"], []
+        ).append(row)
+    if len(by_cell) < 2:
+        fail(
+            f"update_throughput: {len(by_cell)} batch-size cell(s); "
+            "expected a sweep over >= 2 batch sizes"
+        )
+    expected_algos = {
+        "apply:updates_per_s", "apply:epoch_ms",
+        "query:updated", "query:rebuilt",
+    }
+    for x, algos in by_cell.items():
+        missing = expected_algos - set(algos)
+        if missing:
+            fail(
+                f"update_throughput: cell x={x} is missing rows "
+                f"{sorted(missing)}"
+            )
+        updated = algos["query:updated"][0]
+        rebuilt = algos["query:rebuilt"][0]
+        if updated["loops"] == 0:
+            fail(
+                f"update_throughput: x={x} query:updated carries an "
+                "empty matching digest (loops=0): the updated epoch "
+                "served nothing"
+            )
+        if (
+            updated["loops"] != rebuilt["loops"]
+            or updated["pairs"] != rebuilt["pairs"]
+        ):
+            fail(
+                f"update_throughput: x={x} updated-vs-rebuilt diverged "
+                f"(digest {updated['loops']} vs {rebuilt['loops']}, "
+                f"pairs {updated['pairs']} vs {rebuilt['pairs']}): "
+                "incremental updates are not byte-exact"
+            )
+        throughput = algos["apply:updates_per_s"][0]
+        epoch_ms = algos["apply:epoch_ms"][0]
+        for name, row in (("apply:updates_per_s", throughput),
+                          ("apply:epoch_ms", epoch_ms)):
+            if row["pairs"] <= 0 or row["io_accesses"] <= 0:
+                fail(
+                    f"update_throughput: x={x} {name} reports "
+                    f"updates={row['pairs']} tree_ops={row['io_accesses']}; "
+                    "the apply phase did no work"
+                )
+        if (
+            throughput["pairs"] != epoch_ms["pairs"]
+            or throughput["io_accesses"] != epoch_ms["io_accesses"]
+        ):
+            fail(
+                f"update_throughput: x={x} apply rows disagree on the "
+                "work done; they must come from the same experiment"
+            )
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} REPORT.json FAIRMATCH_BENCH_BINARY")
@@ -357,6 +425,7 @@ def main():
     check_scale_sweep(report["figures"].get("scale_sweep", []))
     check_serving_latency(report["figures"].get("serving_latency", []))
     check_fault_recovery(report["figures"].get("fault_recovery", []))
+    check_update_throughput(report["figures"].get("update_throughput", []))
 
     print(
         f"check_bench_report: OK — {len(reported)} figures, {rows} rows, "

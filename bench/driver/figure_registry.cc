@@ -11,6 +11,7 @@ void RegisterBatchFigure(FigureRegistry* registry);
 void RegisterPackedFigures(FigureRegistry* registry);
 void RegisterServeFigure(FigureRegistry* registry);
 void RegisterFaultFigure(FigureRegistry* registry);
+void RegisterUpdateFigure(FigureRegistry* registry);
 
 FigureRegistry& FigureRegistry::Global() {
   static FigureRegistry* registry = [] {
@@ -21,6 +22,7 @@ FigureRegistry& FigureRegistry::Global() {
     RegisterPackedFigures(r);
     RegisterServeFigure(r);
     RegisterFaultFigure(r);
+    RegisterUpdateFigure(r);
     return r;
   }();
   return *registry;

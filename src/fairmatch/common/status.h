@@ -43,6 +43,10 @@ enum class ErrorCode {
   kResourceExhausted,
   /// The run's deadline expired before it completed.
   kDeadlineExceeded,
+  /// The caller violated a stateful contract (e.g. Matcher::Run()
+  /// invoked twice on one instance). Retrying the same call cannot
+  /// succeed; the caller must rebuild the violated state.
+  kFailedPrecondition,
 };
 
 /// Stable identifier for logs/tests ("OK", "DATA_LOSS", ...).
@@ -58,6 +62,8 @@ inline const char* ErrorCodeName(ErrorCode code) {
       return "RESOURCE_EXHAUSTED";
     case ErrorCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
 }
@@ -81,6 +87,9 @@ struct Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return {ErrorCode::kDeadlineExceeded, std::move(message)};
+  }
+  static Status FailedPrecondition(std::string message) {
+    return {ErrorCode::kFailedPrecondition, std::move(message)};
   }
 };
 

@@ -40,8 +40,21 @@ class AdapterMatcher : public Matcher {
   AssignResult Run() override {
     // Run() consumes the environment (Chain deletes from the tree, the
     // context's clock and counters are single-run); a second call would
-    // silently produce garbage, so it aborts instead.
-    FAIRMATCH_CHECK(!ran_ && "Matcher::Run() called twice");
+    // silently produce garbage. With an attached context (the serve
+    // path) the violation is client-reachable state, so it comes back
+    // as a typed kFailedPrecondition — a misbehaving caller must not
+    // crash a server lane. Direct context-free use keeps the hard
+    // abort: there the caller is library code and the bug is ours.
+    if (ran_) {
+      FAIRMATCH_CHECK(env_.ctx != nullptr && "Matcher::Run() called twice");
+      const std::string message =
+          "Matcher::Run() called twice on '" + name_ + "'";
+      env_.ctx->errors().Report(ErrorCode::kFailedPrecondition, message);
+      AssignResult result;
+      result.stats.algorithm = name_;
+      result.status = Status::FailedPrecondition(message);
+      return result;
+    }
     ran_ = true;
     if (env_.ctx != nullptr) env_.ctx->BeginRun();
     AssignResult result = run_(env_);

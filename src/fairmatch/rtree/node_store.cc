@@ -126,6 +126,27 @@ void MemNodeStore::Free(PageId pid) {
   free_list_.push_back(pid);
 }
 
+void MemNodeStore::CopyFrom(const MemNodeStore& other) {
+  FAIRMATCH_CHECK(dims() == other.dims());
+  pages_.clear();
+  pages_.reserve(other.pages_.size());
+  for (const std::unique_ptr<PageData>& page : other.pages_) {
+    if (page == nullptr) {
+      pages_.push_back(nullptr);
+      continue;
+    }
+    pages_.push_back(std::make_unique<PageData>());
+    std::memcpy(pages_.back()->bytes, page->bytes, kPageSize);
+  }
+  free_list_ = other.free_list_;
+}
+
+void MemNodeStore::Adopt(MemNodeStore* donor) {
+  FAIRMATCH_CHECK(dims() == donor->dims());
+  pages_.swap(donor->pages_);
+  free_list_.swap(donor->free_list_);
+}
+
 std::byte* MemNodeStore::BytesOf(PageId pid) {
   FAIRMATCH_CHECK(pid >= 0 && pid < num_pages() && pages_[pid] != nullptr);
   return pages_[pid]->bytes;

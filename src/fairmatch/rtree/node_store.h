@@ -159,6 +159,28 @@ class MemNodeStore : public NodeStore {
     return (pages_.size() - free_list_.size()) * sizeof(PageData);
   }
 
+  /// True when `pid` names a live (allocated, not freed) page.
+  bool has_page(PageId pid) const {
+    return pid >= 0 && pid < num_pages() && pages_[pid] != nullptr;
+  }
+
+  /// Replaces this store's contents with a page-level copy of `other`
+  /// (same dims; this store must be freshly constructed or disposable).
+  /// The epoch-clone primitive for incremental updates: the copy shares
+  /// nothing with `other`, so node-level edits here never perturb a
+  /// published epoch still being read by in-flight requests.
+  void CopyFrom(const MemNodeStore& other);
+
+  /// Swaps page ownership with `donor` (same dims). Lets a builder hand
+  /// a fully updated store to an adopting owner without a second
+  /// page-level copy.
+  void Adopt(MemNodeStore* donor);
+
+  /// Raw bytes of a live page (one PageData). Update-path hook: the
+  /// epoch clone runs its fault-injection schedule over these (flips
+  /// land on the clone's private copy, never on a published epoch).
+  std::byte* raw_page(PageId pid) { return BytesOf(pid); }
+
  private:
   std::byte* BytesOf(PageId pid);
 

@@ -15,6 +15,9 @@ RTree::RTree(NodeStore* store) : store_(store) {
   root_level_ = 0;
 }
 
+RTree::RTree(NodeStore* store, PageId root, int root_level, int64_t size)
+    : store_(store), root_(root), root_level_(root_level), size_(size) {}
+
 int RTree::MinFill(const NodeView& node) {
   return std::max(1, node.capacity() * 40 / 100);
 }

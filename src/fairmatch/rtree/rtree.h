@@ -35,6 +35,13 @@ class RTree {
   /// `store` must outlive the tree.
   explicit RTree(NodeStore* store);
 
+  /// Attaches to a tree that already exists in `store` — the
+  /// incremental-update path (update/delta_builder.h): a cloned store's
+  /// pages are adopted and edited node-by-node instead of rebuilt.
+  /// `root`/`root_level`/`size` must describe a valid tree in `store`;
+  /// nothing is allocated or validated here.
+  RTree(NodeStore* store, PageId root, int root_level, int64_t size);
+
   RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
 

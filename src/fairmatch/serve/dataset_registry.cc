@@ -37,6 +37,24 @@ ResidentDataset::ResidentDataset(std::string name, AssignmentProblem problem,
   build_ms_ = timer.ElapsedMs();
 }
 
+ResidentDataset::ResidentDataset(std::string name, AssignmentProblem problem,
+                                 MemNodeStore* store, PageId root,
+                                 int root_level, int64_t tree_size,
+                                 std::unique_ptr<PackedFunctionStore> packed,
+                                 std::vector<ObjectRecord> skyline,
+                                 int64_t epoch)
+    : name_(std::move(name)),
+      problem_(std::move(problem)),
+      store_(problem_.dims),
+      // The attach constructor reads nothing, so initializing tree_
+      // before Adopt() moves the pages in is safe.
+      tree_(&store_, root, root_level, tree_size),
+      packed_(std::move(packed)),
+      skyline_(std::move(skyline)),
+      epoch_(epoch) {
+  store_.Adopt(store);
+}
+
 size_t ResidentDataset::memory_bytes() const {
   size_t bytes = store_.memory_bytes();
   if (packed_ != nullptr) bytes += packed_->footprint_bytes();
@@ -128,6 +146,24 @@ DatasetHandle DatasetRegistry::Find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second;
+}
+
+DatasetHandle DatasetRegistry::Publish(DatasetHandle handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(handle->name());
+  if (it == datasets_.end()) {
+    datasets_.emplace(handle->name(), std::move(handle));
+    return nullptr;
+  }
+  DatasetHandle previous = std::move(it->second);
+  it->second = std::move(handle);
+  ++republishes_;
+  return previous;
+}
+
+int64_t DatasetRegistry::republishes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return republishes_;
 }
 
 ServeStatus DatasetRegistry::Close(const std::string& name) {

@@ -76,6 +76,19 @@ class ResidentDataset {
                   const DatasetOptions& options,
                   std::unique_ptr<PackedFunctionStore> packed);
 
+  /// Adopts pre-built structures wholesale — the incremental-update
+  /// path (update/delta_builder.h). `store`'s pages are consumed
+  /// (swapped in, no copy): they must already contain the tree described
+  /// by `root`/`root_level`/`tree_size` over `problem`'s objects.
+  /// `packed` (may be null, possibly a patch overlay) becomes the
+  /// resident function index, `skyline` the maintained skyline of the
+  /// live objects, and `epoch` the republish generation.
+  ResidentDataset(std::string name, AssignmentProblem problem,
+                  MemNodeStore* store, PageId root, int root_level,
+                  int64_t tree_size,
+                  std::unique_ptr<PackedFunctionStore> packed,
+                  std::vector<ObjectRecord> skyline, int64_t epoch);
+
   ResidentDataset(const ResidentDataset&) = delete;
   ResidentDataset& operator=(const ResidentDataset&) = delete;
 
@@ -99,13 +112,28 @@ class ResidentDataset {
   /// Resident footprint: tree pages plus the packed image.
   size_t memory_bytes() const;
 
+  /// Republish generation: 1 for registry-built datasets, incremented
+  /// by every DeltaBuilder::Apply epoch.
+  int64_t epoch() const { return epoch_; }
+
+  /// Maintained skyline of the live objects, ascending id — filled by
+  /// the incremental-update path, empty for registry-built datasets
+  /// (queries compute skylines on demand either way; this is the
+  /// delta-maintained copy the update differential suite audits).
+  const std::vector<ObjectRecord>& skyline() const { return skyline_; }
+
+  /// The backing node store (page-level access for epoch cloning).
+  const MemNodeStore& node_store() const { return store_; }
+
  private:
   std::string name_;
   AssignmentProblem problem_;
   mutable MemNodeStore store_;
   mutable RTree tree_;
   std::unique_ptr<PackedFunctionStore> packed_;
+  std::vector<ObjectRecord> skyline_;
   double build_ms_ = 0.0;
+  int64_t epoch_ = 1;
 };
 
 /// Shared ownership of a resident dataset. Copying shares; the dataset
@@ -144,6 +172,18 @@ class DatasetRegistry {
   /// the caller) without ever building.
   DatasetHandle Find(const std::string& name) const;
 
+  /// Atomically replaces (or installs) the resident dataset under
+  /// `handle->name()` — the epoch-republish primitive, equivalent to
+  /// Close() + re-Open() with no window in which the name is absent.
+  /// In-flight requests holding the previous epoch finish on it (their
+  /// handles keep it alive); every later Find()/Open() sees the new
+  /// one. Returns the replaced handle, or nullptr if the name was not
+  /// resident.
+  DatasetHandle Publish(DatasetHandle handle);
+
+  /// Total Publish() calls that replaced an existing dataset.
+  int64_t republishes() const;
+
   /// Drops the registry's reference. Outstanding handles (in-flight
   /// requests) keep the dataset alive; a later Open() of the same name
   /// builds fresh structures. Returns NotFound if `name` is not
@@ -163,6 +203,7 @@ class DatasetRegistry {
   std::map<std::string, std::shared_ptr<const ResidentDataset>> datasets_;
   int64_t warm_opens_ = 0;
   int64_t cold_opens_ = 0;
+  int64_t republishes_ = 0;
 };
 
 }  // namespace fairmatch::serve

@@ -26,6 +26,8 @@ ServeStatus MapEngineStatus(const Status& status) {
       return ServeStatus::DataLoss(status.message);
     case ErrorCode::kDeadlineExceeded:
       return ServeStatus::DeadlineExceeded(status.message);
+    case ErrorCode::kFailedPrecondition:
+      return ServeStatus::FailedPrecondition(status.message);
     case ErrorCode::kUnavailable:
     case ErrorCode::kResourceExhausted:
       return ServeStatus::Unavailable(status.message);

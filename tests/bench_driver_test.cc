@@ -95,6 +95,7 @@ TEST_F(BenchDriverTest, RegistryHasAllBuiltinFigures) {
       "micro_simd_score",
       "scale_sweep",
       "serving_latency",
+      "update_throughput",
   };
   EXPECT_EQ(FigureRegistry::Global().Names(), expected);
   for (const std::string& name : expected) {

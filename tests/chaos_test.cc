@@ -20,8 +20,11 @@
 #include "fairmatch/serve/dataset_registry.h"
 #include "fairmatch/serve/server.h"
 #include "fairmatch/serve/status.h"
+#include "fairmatch/common/rng.h"
 #include "fairmatch/storage/disk_manager.h"
 #include "fairmatch/storage/fault_injector.h"
+#include "fairmatch/update/delta_builder.h"
+#include "fairmatch/update/stream_matcher.h"
 #include "test_util.h"
 
 namespace fairmatch::serve {
@@ -613,6 +616,152 @@ TEST(ChaosDeadlineTest, DeadlineIsTerminalEvenWithRetriesConfigured) {
   EXPECT_EQ(response.status.code, ServeCode::kDeadlineExceeded);
   EXPECT_EQ(response.attempts, 1)
       << "an expired deadline must not be retried";
+}
+
+// ---------------------------------------------------------------------
+// Update-under-faults: DeltaBuilder::Apply with an injector attached
+// must be all-or-nothing. A faulted Apply returns a typed status
+// (kUnavailable for injected read/write failures — never a crash, never
+// an engine CHECK) and leaves the builder on the old epoch with every
+// queryable byte unchanged; an Apply that survives its schedule commits
+// a full epoch that passes the update-vs-rebuild differential.
+//
+// corrupt_rate stays 0 here on purpose: the in-memory tree pages carry
+// no checksum, so corruption outside the node header would pass the
+// structural IsWellFormed() screen undetected and break the success-
+// path differential. Header damage IS screened (typed kDataLoss) —
+// that path is exercised directly below with a hand-damaged page.
+// ---------------------------------------------------------------------
+
+update::UpdateBatch ChaosBatch(const AssignmentProblem& problem, Rng* rng) {
+  update::UpdateBatch batch;
+  const int num_objects = static_cast<int>(problem.objects.size());
+  batch.delete_objects.push_back(
+      static_cast<ObjectId>(rng->UniformInt(0, num_objects / 2)));
+  batch.delete_objects.push_back(static_cast<ObjectId>(
+      rng->UniformInt(num_objects / 2 + 1, num_objects - 1)));
+  for (int i = 0; i < 6; ++i) {
+    ObjectItem o;
+    o.point = Point(problem.dims);
+    for (int d = 0; d < problem.dims; ++d) {
+      o.point[d] = static_cast<float>(rng->Uniform());
+    }
+    batch.insert_objects.push_back(o);
+  }
+  return batch;
+}
+
+TEST(ChaosUpdateTest, ApplyUnderFaultsCommitsFullyOrNotAtAll) {
+  int committed = 0;
+  int rejected = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    for (double rate : {0.005, 0.05}) {
+      ProblemSpec spec;
+      spec.seed = seed + 4000;
+      spec.num_objects = 70;
+      AssignmentProblem problem = RandomProblem(spec);
+      DatasetRegistry registry;
+      DatasetHandle base = registry.Open("chaos-update", problem);
+
+      FaultInjectorOptions fopts;
+      fopts.seed = seed * 977 + static_cast<uint64_t>(rate * 10000);
+      fopts.read_fail_rate = rate;
+      fopts.write_fail_rate = rate;
+      fopts.spike_rate = 0.02;
+      fopts.spike_us = 50;
+      FaultInjector injector(fopts);
+
+      update::DeltaOptions options;
+      options.injector = &injector;
+      update::DeltaBuilder builder(base, options);
+
+      Rng rng(seed * 13 + 7);
+      for (int step = 0; step < 3; ++step) {
+        const DatasetHandle before = builder.current();
+        const std::vector<ObjectRecord> before_scan =
+            before->tree()->ScanAll();
+        const uint64_t before_hash =
+            MatchingHash(update::RunOnDataset(*before, "SB").matching);
+
+        const ServeStatus status =
+            builder.Apply(ChaosBatch(before->problem(), &rng), nullptr);
+        if (status.ok()) {
+          ++committed;
+          // Full-commit leg of the contract: the new epoch passes the
+          // update-vs-rebuild differential.
+          const AssignmentProblem& now = builder.current()->problem();
+          EXPECT_EQ(MatchingHash(
+                        update::RunOnDataset(*builder.current(), "SB")
+                            .matching),
+                    MatchingHash(RunRegisteredMatcher("SB", now).matching));
+          continue;
+        }
+        ++rejected;
+        EXPECT_TRUE(status.code == ServeCode::kUnavailable ||
+                    status.code == ServeCode::kDataLoss)
+            << status.message;
+        // Atomicity leg: the builder still names the identical epoch
+        // object, and the old epoch is byte-for-byte untouched.
+        ASSERT_EQ(builder.current().get(), before.get());
+        const std::vector<ObjectRecord> after_scan =
+            before->tree()->ScanAll();
+        ASSERT_EQ(after_scan.size(), before_scan.size());
+        for (size_t i = 0; i < after_scan.size(); ++i) {
+          EXPECT_EQ(after_scan[i].id, before_scan[i].id);
+          for (int d = 0; d < before->problem().dims; ++d) {
+            EXPECT_EQ(after_scan[i].point[d], before_scan[i].point[d]);
+          }
+        }
+        EXPECT_EQ(MatchingHash(update::RunOnDataset(*before, "SB").matching),
+                  before_hash);
+      }
+    }
+  }
+  // The sweep must actually exercise both legs of the contract.
+  EXPECT_GT(committed, 0) << "every Apply faulted; lower the rates";
+  EXPECT_GT(rejected, 0) << "no Apply faulted; raise the rates";
+}
+
+TEST(ChaosUpdateTest, DamagedClonePageIsTypedDataLoss) {
+  ProblemSpec spec;
+  spec.seed = 4100;
+  // The node header (level + count) is 4 bytes of a 4 KiB page, so a
+  // large tree keeps the expected probes-to-hit low.
+  spec.num_objects = 4000;
+  const AssignmentProblem problem = RandomProblem(spec);
+  DatasetRegistry registry;
+  DatasetHandle base = registry.Open("chaos-damage", problem);
+
+  // Corruption lands at schedule-determined offsets, so any single
+  // schedule may miss every node header. Probe schedules until one
+  // damages a header, which the structural screen must convert into
+  // kDataLoss — not a crash, not a silent commit. The batch is
+  // function-only: a schedule whose damage misses every header commits
+  // without a single tree edit, so the probe never traverses a
+  // corrupted clone and cannot crash.
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 400 && !found; ++seed) {
+    FaultInjectorOptions fopts;
+    fopts.seed = seed;
+    fopts.corrupt_rate = 1.0;
+    FaultInjector injector(fopts);
+
+    update::DeltaOptions options;
+    options.injector = &injector;
+    update::DeltaBuilder builder(base, options);
+
+    update::UpdateBatch batch;
+    batch.delete_functions.push_back(0);
+    const ServeStatus status = builder.Apply(batch, nullptr);
+    if (status.code == ServeCode::kDataLoss) {
+      found = true;
+      EXPECT_EQ(builder.current().get(), base.get())
+          << "a detected damaged clone must not advance the epoch";
+    } else {
+      EXPECT_TRUE(status.ok()) << status.message;
+    }
+  }
+  EXPECT_TRUE(found) << "no schedule damaged a node header in 64 tries";
 }
 
 }  // namespace

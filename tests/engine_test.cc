@@ -202,6 +202,33 @@ TEST(MatcherContractTest, SecondRunAborts) {
   EXPECT_DEATH(matcher->Run(), "called twice");
 }
 
+// With an ExecContext attached (the serve path always has one), the
+// same misuse must come back typed instead: kFailedPrecondition through
+// the ErrorSink, empty matching, process alive — a misbehaving caller
+// must not take down a serving lane.
+TEST(MatcherContractTest, SecondRunWithContextIsTypedNotFatal) {
+  ProblemSpec spec;
+  AssignmentProblem problem = RandomProblem(spec);
+  MemTree mem(problem);
+  ExecContext ctx;
+  MatcherEnv env;
+  env.problem = &problem;
+  env.tree = &mem.tree;
+  env.ctx = &ctx;
+  auto matcher = MatcherRegistry::Global().Create("SB", env);
+  ASSERT_NE(matcher, nullptr);
+  const AssignResult first = matcher->Run();
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.matching.empty());
+
+  const AssignResult second = matcher->Run();
+  EXPECT_EQ(second.status.code, ErrorCode::kFailedPrecondition);
+  EXPECT_NE(second.status.message.find("called twice"), std::string::npos)
+      << second.status.message;
+  EXPECT_TRUE(second.matching.empty());
+  EXPECT_EQ(ctx.errors().status().code, ErrorCode::kFailedPrecondition);
+}
+
 // The shared context aggregates multi-store I/O: a disk-F run's
 // RunStats must cover both the coefficient lists and any matcher-
 // private disk structures, with no hand-stitching by the caller.

@@ -18,9 +18,13 @@
 #include <string>
 #include <vector>
 
+#include "fairmatch/common/rng.h"
+#include "fairmatch/data/synthetic.h"
 #include "fairmatch/serve/dataset_registry.h"
 #include "fairmatch/serve/server.h"
 #include "fairmatch/serve/status.h"
+#include "fairmatch/update/delta_builder.h"
+#include "fairmatch/update/stream_matcher.h"
 #include "test_util.h"
 
 namespace fairmatch::serve {
@@ -569,6 +573,83 @@ TEST(DatasetLifecycleTest, OpenOrErrorReportsTypedPackedImageFailures) {
   // The already-resident dataset is untouched by the failures above.
   EXPECT_TRUE(registry.OpenOrError("ds", problem, options).ok());
   std::remove(path.c_str());
+}
+
+// Epoch republish: a request is pinned to the epoch resident at
+// Submit(). Requests submitted before a Publish() finish on the old
+// epoch and byte-match the old dataset; requests submitted after see
+// the new one; and once the server closes and every handle drops, the
+// old epoch's refcount drains to zero.
+TEST(DatasetLifecycleTest, RepublishStraddlingRequestsServeTheirEpoch) {
+  const AssignmentProblem problem = SmallProblem(50100);
+  DatasetRegistry registry;
+  DatasetHandle old_epoch = registry.Open("ds", problem);
+
+  // Build the next epoch off-lock while the old one serves. The batch
+  // churns a function and the tiny compaction threshold forces a fresh
+  // flat packed image: an overlay epoch would otherwise keep the old
+  // epoch alive on purpose (it shares the old flat image), and this
+  // test wants to watch the old epoch's refcount drain to zero.
+  update::DeltaOptions doptions;
+  doptions.compaction_threshold = 0.01;
+  update::DeltaBuilder builder(old_epoch, doptions);
+  update::UpdateBatch batch;
+  for (ObjectId oid = 0; oid < 25; ++oid) batch.delete_objects.push_back(oid);
+  batch.delete_functions.push_back(0);
+  Rng fn_rng(50123);
+  batch.insert_functions = GenerateFunctions(1, problem.dims, &fn_rng);
+  ASSERT_TRUE(builder.Apply(batch, nullptr).ok());
+  DatasetHandle new_epoch = builder.current();
+
+  const uint64_t old_hash =
+      MatchingHash(update::RunOnDataset(*old_epoch, "SB").matching);
+  const uint64_t new_hash =
+      MatchingHash(update::RunOnDataset(*new_epoch, "SB").matching);
+  ASSERT_NE(old_hash, new_hash)
+      << "the update must change the matching for the straddle to bite";
+
+  ServerOptions options;
+  options.lanes = 2;
+  options.max_queue = 64;
+  Server server(&registry, options);
+
+  Request request;
+  request.dataset = "ds";
+  request.matcher = "SB";
+  constexpr int kEach = 8;
+  std::vector<ResponseFuture> before;
+  for (int i = 0; i < kEach; ++i) before.push_back(server.Submit(request));
+
+  DatasetHandle replaced = registry.Publish(new_epoch);
+  ASSERT_EQ(replaced.get(), old_epoch.get());
+  EXPECT_EQ(registry.republishes(), 1);
+
+  std::vector<ResponseFuture> after;
+  for (int i = 0; i < kEach; ++i) after.push_back(server.Submit(request));
+
+  for (int i = 0; i < kEach; ++i) {
+    const Response& response = before[i].Wait();
+    ASSERT_TRUE(response.status.ok()) << response.status.message;
+    EXPECT_EQ(MatchingHash(response.matching), old_hash)
+        << "pre-publish request " << i << " left its epoch";
+  }
+  for (int i = 0; i < kEach; ++i) {
+    const Response& response = after[i].Wait();
+    ASSERT_TRUE(response.status.ok()) << response.status.message;
+    EXPECT_EQ(MatchingHash(response.matching), new_hash)
+        << "post-publish request " << i << " served the stale epoch";
+  }
+  server.Close();
+
+  // Refcount drain: the server is closed and the registry now maps the
+  // name to the new epoch, so dropping the local handles must destroy
+  // the old epoch.
+  std::weak_ptr<const ResidentDataset> old_weak = old_epoch;
+  before.clear();
+  after.clear();
+  replaced.reset();
+  old_epoch.reset();
+  EXPECT_TRUE(old_weak.expired()) << "old epoch leaked after republish";
 }
 
 }  // namespace
