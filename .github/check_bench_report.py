@@ -375,6 +375,84 @@ def check_update_throughput(rows):
             )
 
 
+def check_recovery_time(rows):
+    """recovery_time carries the restart-equals-no-crash differential
+    onto the report surface: in every cell the state:recovered row
+    (digest of the epoch Recover() rebuilt from the manifest + snapshot
+    + WAL suffix) must equal the state:uncrashed row (digest of the
+    epoch the live builder was serving at clean shutdown) on both
+    deterministic columns. In the replay section the snapshot threshold
+    is disabled, so the replayed-record count must equal the cell's x;
+    the threshold section must show the knob actually shrinking the
+    replayed suffix."""
+    by_section = {}
+    for row in rows:
+        by_section.setdefault(row["section"], {}).setdefault(
+            row["x"], {}
+        )[row["algorithm"]] = row
+    for name in ("replay", "threshold"):
+        if name not in by_section:
+            fail(f"recovery_time: missing section {name!r}")
+        if len(by_section[name]) < 2:
+            fail(
+                f"recovery_time: section {name!r} has "
+                f"{len(by_section[name])} x value(s); expected >= 2"
+            )
+    expected_algos = {
+        "recover:time_to_serving_ms", "recover:replay_records_per_s",
+        "state:recovered", "state:uncrashed",
+    }
+    for section, cells in by_section.items():
+        for x, algos in cells.items():
+            missing = expected_algos - set(algos)
+            if missing:
+                fail(
+                    f"recovery_time: cell {section}/x={x} is missing "
+                    f"rows {sorted(missing)}"
+                )
+            recovered = algos["state:recovered"]
+            uncrashed = algos["state:uncrashed"]
+            if recovered["loops"] == 0:
+                fail(
+                    f"recovery_time: {section}/x={x} carries an empty "
+                    "epoch digest (loops=0): recovery served nothing"
+                )
+            if (
+                recovered["loops"] != uncrashed["loops"]
+                or recovered["pairs"] != uncrashed["pairs"]
+            ):
+                fail(
+                    f"recovery_time: {section}/x={x} recovered-vs-"
+                    f"uncrashed diverged (digest {recovered['loops']} vs "
+                    f"{uncrashed['loops']}, pairs {recovered['pairs']} vs "
+                    f"{uncrashed['pairs']}): restart did not converge to "
+                    "the pre-shutdown epoch"
+                )
+            replayed = {r["io_accesses"] for r in algos.values()}
+            if len(replayed) != 1:
+                fail(
+                    f"recovery_time: {section}/x={x} rows disagree on "
+                    f"the replayed-record count ({sorted(replayed)}); "
+                    "they must come from the same experiment"
+                )
+            if section == "replay" and replayed != {int(x)}:
+                fail(
+                    f"recovery_time: replay/x={x} replayed "
+                    f"{sorted(replayed)} WAL records; with snapshots "
+                    f"disabled every one of the {x} batches must replay"
+                )
+    suffixes = {
+        x: algos["state:recovered"]["io_accesses"]
+        for x, algos in by_section["threshold"].items()
+    }
+    if len(set(suffixes.values())) < 2:
+        fail(
+            f"recovery_time: threshold section replayed the same "
+            f"suffix everywhere ({suffixes}); the snapshot-threshold "
+            "knob had no effect"
+        )
+
+
 def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} REPORT.json FAIRMATCH_BENCH_BINARY")
@@ -426,6 +504,7 @@ def main():
     check_serving_latency(report["figures"].get("serving_latency", []))
     check_fault_recovery(report["figures"].get("fault_recovery", []))
     check_update_throughput(report["figures"].get("update_throughput", []))
+    check_recovery_time(report["figures"].get("recovery_time", []))
 
     print(
         f"check_bench_report: OK — {len(reported)} figures, {rows} rows, "

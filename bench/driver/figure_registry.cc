@@ -12,6 +12,7 @@ void RegisterPackedFigures(FigureRegistry* registry);
 void RegisterServeFigure(FigureRegistry* registry);
 void RegisterFaultFigure(FigureRegistry* registry);
 void RegisterUpdateFigure(FigureRegistry* registry);
+void RegisterRecoveryFigure(FigureRegistry* registry);
 
 FigureRegistry& FigureRegistry::Global() {
   static FigureRegistry* registry = [] {
@@ -23,6 +24,7 @@ FigureRegistry& FigureRegistry::Global() {
     RegisterServeFigure(r);
     RegisterFaultFigure(r);
     RegisterUpdateFigure(r);
+    RegisterRecoveryFigure(r);
     return r;
   }();
   return *registry;

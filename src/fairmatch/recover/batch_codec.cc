@@ -1,0 +1,82 @@
+#include "fairmatch/recover/batch_codec.h"
+
+#include <cstdint>
+
+#include "fairmatch/recover/wire.h"
+
+namespace fairmatch::recover {
+
+namespace {
+
+constexpr uint32_t kBatchVersion = 1;
+
+}  // namespace
+
+void EncodeBatch(const update::UpdateBatch& batch, int dims,
+                 std::string* out) {
+  PutU32(out, kBatchVersion);
+  PutU32(out, static_cast<uint32_t>(dims));
+
+  PutU32(out, static_cast<uint32_t>(batch.insert_objects.size()));
+  for (const ObjectItem& o : batch.insert_objects) {
+    for (int d = 0; d < dims; ++d) PutF32(out, o.point[d]);
+    PutI32(out, o.capacity);
+  }
+
+  PutU32(out, static_cast<uint32_t>(batch.delete_objects.size()));
+  for (ObjectId id : batch.delete_objects) PutI32(out, id);
+
+  PutU32(out, static_cast<uint32_t>(batch.insert_functions.size()));
+  for (const PrefFunction& f : batch.insert_functions) {
+    for (int d = 0; d < dims; ++d) PutF64(out, f.alpha[d]);
+    PutF64(out, f.gamma);
+    PutI32(out, f.capacity);
+  }
+
+  PutU32(out, static_cast<uint32_t>(batch.delete_functions.size()));
+  for (FunctionId id : batch.delete_functions) PutI32(out, id);
+}
+
+bool DecodeBatch(const std::string& payload, update::UpdateBatch* batch,
+                 int* dims) {
+  WireReader r(payload);
+  if (r.GetU32() != kBatchVersion) return false;
+  const int d = static_cast<int>(r.GetU32());
+  if (!r.ok() || d < 1 || d > kMaxDims) return false;
+
+  *batch = update::UpdateBatch{};
+  if (dims != nullptr) *dims = d;
+
+  const uint32_t n_io = r.GetU32();
+  for (uint32_t i = 0; r.ok() && i < n_io; ++i) {
+    ObjectItem o;
+    o.point = Point(d);
+    for (int k = 0; k < d; ++k) o.point[k] = r.GetF32();
+    o.capacity = r.GetI32();
+    batch->insert_objects.push_back(o);
+  }
+
+  const uint32_t n_do = r.GetU32();
+  for (uint32_t i = 0; r.ok() && i < n_do; ++i) {
+    batch->delete_objects.push_back(r.GetI32());
+  }
+
+  const uint32_t n_if = r.GetU32();
+  for (uint32_t i = 0; r.ok() && i < n_if; ++i) {
+    PrefFunction f;
+    f.dims = d;
+    for (int k = 0; k < d; ++k) f.alpha[k] = r.GetF64();
+    f.gamma = r.GetF64();
+    f.capacity = r.GetI32();
+    batch->insert_functions.push_back(f);
+  }
+
+  const uint32_t n_df = r.GetU32();
+  for (uint32_t i = 0; r.ok() && i < n_df; ++i) {
+    batch->delete_functions.push_back(r.GetI32());
+  }
+
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace fairmatch::recover

@@ -1,0 +1,33 @@
+// Serialization of one UpdateBatch — the WAL record payload.
+//
+// The write-ahead log (recover/wal.h) records each DeltaBuilder batch
+// before it is applied; recovery replays the decoded batches through a
+// fresh DeltaBuilder. Replay only converges byte-identically if the
+// decoded batch IS the logged batch, so every field round-trips
+// bit-exactly: object coordinates as raw f32, function weights/gamma
+// as raw f64, capacities and delete-id lists as i32. The `id` fields
+// of inserted items are deliberately not serialized — DeltaBuilder
+// ignores them and assigns dense ids itself (delta_builder.h), and
+// replay must reproduce exactly that assignment.
+#ifndef FAIRMATCH_RECOVER_BATCH_CODEC_H_
+#define FAIRMATCH_RECOVER_BATCH_CODEC_H_
+
+#include <string>
+
+#include "fairmatch/update/delta_builder.h"
+
+namespace fairmatch::recover {
+
+/// Appends the encoded batch to `out`.
+void EncodeBatch(const update::UpdateBatch& batch, int dims,
+                 std::string* out);
+
+/// Decodes one batch (the exact output of EncodeBatch). False when the
+/// bytes are malformed or truncated — which a CRC-verified WAL record
+/// never is, so a false here means a format-version bug, not damage.
+bool DecodeBatch(const std::string& payload, update::UpdateBatch* batch,
+                 int* dims);
+
+}  // namespace fairmatch::recover
+
+#endif  // FAIRMATCH_RECOVER_BATCH_CODEC_H_

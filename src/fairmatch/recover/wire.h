@@ -1,0 +1,82 @@
+// Byte-level encode/decode helpers shared by the durable formats
+// (recover/wal.h, recover/manifest.h, recover/snapshot.h).
+//
+// Fixed-width little-endian-native fields via memcpy: the files are
+// host-local (written and recovered on the same machine), so no
+// byte-swapping — what matters is that floats and doubles round-trip
+// bit-exactly, which raw-byte copies guarantee and text formats do not.
+#ifndef FAIRMATCH_RECOVER_WIRE_H_
+#define FAIRMATCH_RECOVER_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fairmatch::recover {
+
+template <typename T>
+inline void PutRaw(std::string* buffer, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  buffer->append(bytes, sizeof(T));
+}
+
+inline void PutU32(std::string* b, uint32_t v) { PutRaw(b, v); }
+inline void PutU64(std::string* b, uint64_t v) { PutRaw(b, v); }
+inline void PutI32(std::string* b, int32_t v) { PutRaw(b, v); }
+inline void PutI64(std::string* b, int64_t v) { PutRaw(b, v); }
+inline void PutF32(std::string* b, float v) { PutRaw(b, v); }
+inline void PutF64(std::string* b, double v) { PutRaw(b, v); }
+
+/// Cursor over an encoded byte range. Every Get* checks bounds; after
+/// any failure ok() is false and all further Gets return zero values —
+/// callers can decode a full struct and check ok() once at the end.
+class WireReader {
+ public:
+  WireReader(const char* data, size_t size)
+      : p_(data), end_(data + size) {}
+  explicit WireReader(const std::string& bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  template <typename T>
+  T GetRaw() {
+    T value{};
+    if (!ok_ || remaining() < sizeof(T)) {
+      ok_ = false;
+      return value;
+    }
+    std::memcpy(&value, p_, sizeof(T));
+    p_ += sizeof(T);
+    return value;
+  }
+
+  uint32_t GetU32() { return GetRaw<uint32_t>(); }
+  uint64_t GetU64() { return GetRaw<uint64_t>(); }
+  int32_t GetI32() { return GetRaw<int32_t>(); }
+  int64_t GetI64() { return GetRaw<int64_t>(); }
+  float GetF32() { return GetRaw<float>(); }
+  double GetF64() { return GetRaw<double>(); }
+
+  /// Copies `n` raw bytes out; empty string (and !ok()) on underrun.
+  std::string GetBytes(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(p_, n);
+    p_ += n;
+    return out;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace fairmatch::recover
+
+#endif  // FAIRMATCH_RECOVER_WIRE_H_

@@ -147,6 +147,23 @@ void MemNodeStore::Adopt(MemNodeStore* donor) {
   free_list_.swap(donor->free_list_);
 }
 
+void MemNodeStore::RestoreInit(int64_t num_pages) {
+  pages_.clear();
+  free_list_.clear();
+  pages_.resize(static_cast<size_t>(num_pages));
+}
+
+std::byte* MemNodeStore::RestorePage(PageId pid) {
+  FAIRMATCH_CHECK(pid >= 0 && pid < num_pages() && pages_[pid] == nullptr);
+  pages_[pid] = std::make_unique<PageData>();
+  std::memset(pages_[pid]->bytes, 0, kPageSize);
+  return pages_[pid]->bytes;
+}
+
+void MemNodeStore::RestoreFreeList(std::vector<PageId> order) {
+  free_list_ = std::move(order);
+}
+
 std::byte* MemNodeStore::BytesOf(PageId pid) {
   FAIRMATCH_CHECK(pid >= 0 && pid < num_pages() && pages_[pid] != nullptr);
   return pages_[pid]->bytes;

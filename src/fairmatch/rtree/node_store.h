@@ -181,6 +181,27 @@ class MemNodeStore : public NodeStore {
   /// land on the clone's private copy, never on a published epoch).
   std::byte* raw_page(PageId pid) { return BytesOf(pid); }
 
+  /// Read-only page bytes (snapshot serialization; `pid` must be live).
+  const std::byte* page_bytes(PageId pid) const {
+    return pages_[pid]->bytes;
+  }
+
+  /// Free-page ids in pop order (back first). Snapshots persist this
+  /// because Allocate() reuses it LIFO: replaying WAL batches on a
+  /// restored store only produces byte-identical pages if page-id
+  /// assignment replays too.
+  const std::vector<PageId>& free_list() const { return free_list_; }
+
+  /// Snapshot-restore primitives, used together: RestoreInit(n) resets
+  /// the store to `n` empty page slots; RestorePage(pid) installs a
+  /// live (zeroed) page at slot `pid` and returns its bytes to fill;
+  /// RestoreFreeList() installs the persisted free order. The result
+  /// must equal the serialized store exactly — live pages, holes, and
+  /// allocator state.
+  void RestoreInit(int64_t num_pages);
+  std::byte* RestorePage(PageId pid);
+  void RestoreFreeList(std::vector<PageId> order);
+
  private:
   std::byte* BytesOf(PageId pid);
 

@@ -1,7 +1,9 @@
 #include "fairmatch/serve/dataset_registry.h"
 
+#include <cstdio>
 #include <utility>
 
+#include "fairmatch/common/check.h"
 #include "fairmatch/common/timer.h"
 
 namespace fairmatch::serve {
@@ -149,21 +151,61 @@ DatasetHandle DatasetRegistry::Find(const std::string& name) const {
 }
 
 DatasetHandle DatasetRegistry::Publish(DatasetHandle handle) {
+  DatasetHandle replaced;
+  const ServeStatus status = PublishOrError(std::move(handle), &replaced);
+  if (!status.ok()) {
+    std::fprintf(stderr, "DatasetRegistry::Publish: %s\n",
+                 status.message.c_str());
+  }
+  FAIRMATCH_CHECK(status.ok() && "publish must advance the live epoch");
+  return replaced;
+}
+
+ServeStatus DatasetRegistry::PublishOrError(DatasetHandle handle,
+                                            DatasetHandle* replaced,
+                                            ErrorSink* sink) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = datasets_.find(handle->name());
   if (it == datasets_.end()) {
     datasets_.emplace(handle->name(), std::move(handle));
-    return nullptr;
+    if (replaced != nullptr) replaced->reset();
+    return ServeStatus::Ok();
+  }
+  if (handle->epoch() <= it->second->epoch()) {
+    const std::string detail =
+        "non-monotonic publish of dataset '" + handle->name() + "': epoch " +
+        std::to_string(handle->epoch()) + " does not advance live epoch " +
+        std::to_string(it->second->epoch());
+    if (sink != nullptr) sink->Report(ErrorCode::kFailedPrecondition, detail);
+    return ServeStatus::FailedPrecondition(detail);
   }
   DatasetHandle previous = std::move(it->second);
   it->second = std::move(handle);
   ++republishes_;
-  return previous;
+  if (replaced != nullptr) *replaced = std::move(previous);
+  return ServeStatus::Ok();
+}
+
+ServeStatus DatasetRegistry::PublishRecovered(DatasetHandle handle,
+                                              DatasetHandle* replaced,
+                                              ErrorSink* sink) {
+  const ServeStatus status =
+      PublishOrError(std::move(handle), replaced, sink);
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++recoveries_;
+  }
+  return status;
 }
 
 int64_t DatasetRegistry::republishes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return republishes_;
+}
+
+int64_t DatasetRegistry::recoveries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recoveries_;
 }
 
 ServeStatus DatasetRegistry::Close(const std::string& name) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "fairmatch/assign/problem.h"
+#include "fairmatch/common/status.h"
 #include "fairmatch/rtree/node_store.h"
 #include "fairmatch/rtree/rtree.h"
 #include "fairmatch/serve/status.h"
@@ -179,10 +180,36 @@ class DatasetRegistry {
   /// handles keep it alive); every later Find()/Open() sees the new
   /// one. Returns the replaced handle, or nullptr if the name was not
   /// resident.
+  ///
+  /// Epochs must be monotonic: `handle->epoch()` must exceed the live
+  /// epoch, or the swap would silently roll requests back to stale
+  /// data (and a same-epoch republish would hide a stuck builder).
+  /// This entry point CHECK-fails on a violation — a non-monotonic
+  /// publish is a caller bug, not a runtime condition; use
+  /// PublishOrError() where it must come back typed.
   DatasetHandle Publish(DatasetHandle handle);
+
+  /// Publish() with the monotonicity violation reported as typed
+  /// kFailedPrecondition instead of a CHECK: the status (and `sink`,
+  /// when non-null) carries both epochs, the registry is untouched. On
+  /// success `*replaced` (when non-null) receives what Publish() would
+  /// have returned.
+  ServeStatus PublishOrError(DatasetHandle handle,
+                             DatasetHandle* replaced = nullptr,
+                             ErrorSink* sink = nullptr);
+
+  /// PublishOrError() for an epoch restored by crash recovery
+  /// (recover/durable_builder.h) — same swap/install and the same
+  /// monotonicity contract, counted separately in recoveries().
+  ServeStatus PublishRecovered(DatasetHandle handle,
+                               DatasetHandle* replaced = nullptr,
+                               ErrorSink* sink = nullptr);
 
   /// Total Publish() calls that replaced an existing dataset.
   int64_t republishes() const;
+
+  /// Total recovered epochs published (PublishRecovered).
+  int64_t recoveries() const;
 
   /// Drops the registry's reference. Outstanding handles (in-flight
   /// requests) keep the dataset alive; a later Open() of the same name
@@ -204,6 +231,7 @@ class DatasetRegistry {
   int64_t warm_opens_ = 0;
   int64_t cold_opens_ = 0;
   int64_t republishes_ = 0;
+  int64_t recoveries_ = 0;
 };
 
 }  // namespace fairmatch::serve

@@ -1,0 +1,299 @@
+#include "fairmatch/storage/durable_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "fairmatch/storage/fault_injector.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FAIRMATCH_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace fairmatch {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+/// write(2) until done (short writes are legal and must be resumed).
+bool WriteFully(int fd, const char* bytes, size_t size, long long offset,
+                bool positioned) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        positioned
+            ? ::pwrite(fd, bytes + done, size - done,
+                       static_cast<off_t>(offset) + static_cast<off_t>(done))
+            : ::write(fd, bytes + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// fsync the directory containing `path` so a rename within it is
+/// itself durable. Best-effort: some filesystems refuse O_RDONLY
+/// directory syncs; the rename still happened.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+#endif
+
+/// The shared write-boundary body: consult the crash schedule, land a
+/// torn prefix when this boundary is the scheduled death, write.
+bool BoundaryWrite(int fd, const void* bytes, size_t size, long long offset,
+                   bool positioned, FaultInjector* injector, const char* site,
+                   std::string* error, const std::string& path) {
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  const char* p = static_cast<const char*>(bytes);
+  size_t to_write = size;
+  bool crash = false;
+  if (injector != nullptr) {
+    crash = injector->OnDurableWrite(size, &to_write);
+  }
+  if (!WriteFully(fd, p, to_write, offset, positioned)) {
+    SetError(error, std::string("write failed for ") + path + ": " +
+                        std::strerror(errno));
+    return false;
+  }
+  if (crash) injector->Crash(site);
+  return true;
+#else
+  (void)fd;
+  (void)offset;
+  (void)positioned;
+  size_t to_write = size;
+  bool crash = false;
+  if (injector != nullptr) crash = injector->OnDurableWrite(size, &to_write);
+  std::FILE* f = std::fopen(path.c_str(), positioned ? "r+b" : "ab");
+  if (f == nullptr && positioned) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    SetError(error, "fopen failed for " + path);
+    return false;
+  }
+  if (positioned) std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  const bool ok = to_write == 0 ||
+                  std::fwrite(bytes, 1, to_write, f) == to_write;
+  std::fclose(f);
+  if (!ok) {
+    SetError(error, "short write to " + path);
+    return false;
+  }
+  if (crash) injector->Crash(site);
+  return true;
+#endif
+}
+
+}  // namespace
+
+DurableFile DurableFile::OpenAppend(const std::string& path,
+                                    std::string* error) {
+  DurableFile file;
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    SetError(error, "open(append) failed for " + path + ": " +
+                        std::strerror(errno));
+    return file;
+  }
+  file.fd_ = fd;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    SetError(error, "fopen(append) failed for " + path);
+    return file;
+  }
+  std::fclose(f);
+  file.fd_ = 0;  // fallback: path-addressed stdio per call
+#endif
+  file.path_ = path;
+  return file;
+}
+
+DurableFile DurableFile::OpenRw(const std::string& path, std::string* error) {
+  DurableFile file;
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    SetError(error,
+             "open(rw) failed for " + path + ": " + std::strerror(errno));
+    return file;
+  }
+  file.fd_ = fd;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    SetError(error, "fopen(rw) failed for " + path);
+    return file;
+  }
+  std::fclose(f);
+  file.fd_ = 0;
+#endif
+  file.path_ = path;
+  return file;
+}
+
+DurableFile DurableFile::Create(const std::string& path, std::string* error) {
+  DurableFile file;
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error,
+             "create failed for " + path + ": " + std::strerror(errno));
+    return file;
+  }
+  file.fd_ = fd;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "create failed for " + path);
+    return file;
+  }
+  std::fclose(f);
+  file.fd_ = 0;
+#endif
+  file.path_ = path;
+  return file;
+}
+
+void DurableFile::Close() {
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+  path_.clear();
+}
+
+bool DurableFile::Append(const void* bytes, size_t size,
+                         FaultInjector* injector, const char* site,
+                         std::string* error) {
+  return BoundaryWrite(fd_, bytes, size, /*offset=*/0, /*positioned=*/false,
+                       injector, site, error, path_);
+}
+
+bool DurableFile::WriteAt(const void* bytes, size_t size, long long offset,
+                          FaultInjector* injector, const char* site,
+                          std::string* error) {
+  return BoundaryWrite(fd_, bytes, size, offset, /*positioned=*/true, injector,
+                       site, error, path_);
+}
+
+bool DurableFile::Sync(FaultInjector* injector, const char* site,
+                       std::string* error) {
+  if (injector != nullptr && injector->OnDurablePoint()) {
+    // The crash lands before the fsync: the preceding writes sit in the
+    // page cache (visible to the recovering process either way — what a
+    // real machine might lose here is exactly what replay idempotence
+    // absorbs: a record that was written but never acknowledged).
+    injector->Crash(site);
+  }
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  if (::fsync(fd_) != 0) {
+    SetError(error,
+             "fsync failed for " + path_ + ": " + std::strerror(errno));
+    return false;
+  }
+#endif
+  return true;
+}
+
+bool DurableRename(const std::string& from, const std::string& to,
+                   FaultInjector* injector, const char* site,
+                   std::string* error) {
+  if (injector != nullptr && injector->OnDurablePoint()) injector->Crash(site);
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    SetError(error, "rename " + from + " -> " + to + " failed: " +
+                        std::strerror(errno));
+    return false;
+  }
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  SyncParentDir(to);
+#endif
+  return true;
+}
+
+bool DurableWriteFile(const std::string& path, const void* bytes, size_t size,
+                      FaultInjector* injector, const char* site,
+                      std::string* error) {
+  const std::string tmp = path + ".tmp";
+  DurableFile file = DurableFile::Create(tmp, error);
+  if (!file.valid()) return false;
+  if (!file.Append(bytes, size, injector, site, error)) return false;
+  if (!file.Sync(injector, site, error)) return false;
+  file.Close();
+  return DurableRename(tmp, path, injector, site, error);
+}
+
+bool TruncateFile(const std::string& path, long long size,
+                  std::string* error) {
+#if defined(FAIRMATCH_HAVE_POSIX_IO)
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    SetError(error, "truncate failed for " + path + ": " +
+                        std::strerror(errno));
+    return false;
+  }
+  return true;
+#else
+  std::string bytes;
+  if (!ReadFileBytes(path, &bytes, error)) return false;
+  if (static_cast<long long>(bytes.size()) < size) {
+    SetError(error, "truncate target past end of " + path);
+    return false;
+  }
+  bytes.resize(static_cast<size_t>(size));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    SetError(error, "fopen failed for " + path);
+    return false;
+  }
+  const bool ok = bytes.empty() ||
+                  std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) SetError(error, "short write to " + path);
+  return ok;
+#endif
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "fopen failed for " + path);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    SetError(error, path + " is unseekable");
+    std::fclose(f);
+    return false;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(end));
+  const bool ok =
+      end == 0 || std::fread(&(*out)[0], 1, out->size(), f) == out->size();
+  std::fclose(f);
+  if (!ok) {
+    SetError(error, "short read from " + path);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fairmatch

@@ -1,0 +1,117 @@
+// Crash-consistent file primitives for the recovery path.
+//
+// Everything the durable epoch machinery (src/fairmatch/recover/)
+// writes goes through these helpers, which enforce the two disciplines
+// crash consistency needs and make every one of them a deterministic
+// crash point:
+//  * write-then-fsync — a record is durable only after DurableSync()
+//    returned; the WAL's commit point.
+//  * atomic rename — whole-file replacement goes tmp + fsync + rename,
+//    so a reader of the final name never sees a torn image.
+//
+// Crash points: when a FaultInjector with a crash schedule
+// (FaultInjectorOptions::crash_after_durable) is passed, each write /
+// sync / rename boundary ticks the durable-op counter and, at the
+// scheduled index, dies per CrashMode — a write boundary first lands a
+// schedule-determined strict prefix of its bytes, so the sweep
+// exercises genuinely torn records. A null injector (or an unscheduled
+// one) costs one counter tick per boundary and nothing else.
+//
+// POSIX is the real implementation; the portable fallback keeps the
+// same API with stdio and no sync guarantee (good enough for the
+// in-process tests that exist on such platforms).
+#ifndef FAIRMATCH_STORAGE_DURABLE_FILE_H_
+#define FAIRMATCH_STORAGE_DURABLE_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace fairmatch {
+
+class FaultInjector;
+
+/// RAII file descriptor for the durable write paths. Move-only.
+class DurableFile {
+ public:
+  DurableFile() = default;
+  ~DurableFile() { Close(); }
+
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+  DurableFile(DurableFile&& other) noexcept { MoveFrom(&other); }
+  DurableFile& operator=(DurableFile&& other) noexcept {
+    if (this != &other) {
+      Close();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  /// Opens `path` for appending, creating it (empty) when absent.
+  static DurableFile OpenAppend(const std::string& path, std::string* error);
+
+  /// Opens `path` for positioned writes (pwrite), creating when absent.
+  static DurableFile OpenRw(const std::string& path, std::string* error);
+
+  /// Creates/truncates `path` for writing from scratch.
+  static DurableFile Create(const std::string& path, std::string* error);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  void Close();
+
+  /// One durable write boundary: appends `size` bytes at the end of the
+  /// file. Crash point (torn: a prefix may land before the die).
+  bool Append(const void* bytes, size_t size, FaultInjector* injector,
+              const char* site, std::string* error);
+
+  /// One durable write boundary at an absolute offset (the manifest's
+  /// slot writes). Crash point (torn).
+  bool WriteAt(const void* bytes, size_t size, long long offset,
+               FaultInjector* injector, const char* site, std::string* error);
+
+  /// One durable sync boundary: fsync. The commit point of everything
+  /// appended before it. Crash point (the preceding writes are already
+  /// in the file; what dies here is the *acknowledgement*).
+  bool Sync(FaultInjector* injector, const char* site, std::string* error);
+
+ private:
+  void MoveFrom(DurableFile* other) {
+    fd_ = other->fd_;
+    path_ = std::move(other->path_);
+    other->fd_ = -1;
+    other->path_.clear();
+  }
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// One durable rename boundary: atomically moves `from` over `to` and
+/// fsyncs the containing directory. Crash point (before the rename —
+/// a crash leaves `from` in place and `to` untouched).
+bool DurableRename(const std::string& from, const std::string& to,
+                   FaultInjector* injector, const char* site,
+                   std::string* error);
+
+/// Whole-file replacement with full discipline: tmp file, one write
+/// boundary, one sync boundary, one rename boundary.
+bool DurableWriteFile(const std::string& path, const void* bytes, size_t size,
+                      FaultInjector* injector, const char* site,
+                      std::string* error);
+
+/// Truncates `path` to `size` bytes (recovery's torn-tail cut before
+/// re-appending; not a crash point — it runs during recovery, which is
+/// idempotent from the start).
+bool TruncateFile(const std::string& path, long long size,
+                  std::string* error);
+
+/// Reads all of `path` into `out`. Plain buffered reads (recovery-time
+/// loads are not crash points). False + error when the file cannot be
+/// read; an empty file reads as an empty string.
+bool ReadFileBytes(const std::string& path, std::string* out,
+                   std::string* error);
+
+}  // namespace fairmatch
+
+#endif  // FAIRMATCH_STORAGE_DURABLE_FILE_H_

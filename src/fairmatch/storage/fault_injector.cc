@@ -2,6 +2,13 @@
 
 #include "fairmatch/common/types.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#else
+#include <cstdlib>
+#endif
+
 namespace fairmatch {
 
 namespace {
@@ -88,6 +95,39 @@ Status FaultInjector::OnMap(const std::string& path) {
     return Status::Unavailable("injected map failure for " + path);
   }
   return Status::Ok();
+}
+
+bool FaultInjector::OnDurableWrite(size_t size, size_t* torn_prefix) {
+  const int64_t op = counters_.durable_ops++;
+  *torn_prefix = size;
+  if (op != options_.crash_after_durable) return false;
+  // A strict prefix, schedule-determined: the sweep sees every torn
+  // shape from "nothing landed" up to "one byte short of complete".
+  const uint64_t h = Mix64(options_.seed ^ Mix64(static_cast<uint64_t>(op) ^
+                                                 (kDamageStream << 32)));
+  *torn_prefix = size == 0 ? 0 : static_cast<size_t>(h % size);
+  crashed_at_ = op;
+  return true;
+}
+
+bool FaultInjector::OnDurablePoint() {
+  const int64_t op = counters_.durable_ops++;
+  if (op != options_.crash_after_durable) return false;
+  crashed_at_ = op;
+  return true;
+}
+
+void FaultInjector::Crash(const char* site) {
+  if (options_.crash_mode == CrashMode::kKill) {
+#if defined(__unix__) || defined(__APPLE__)
+    ::kill(::getpid(), SIGKILL);
+    // SIGKILL cannot be handled; control never reaches here. Fall
+    // through to the throw to satisfy [[noreturn]] on exotic platforms.
+#else
+    std::abort();
+#endif
+  }
+  throw InjectedCrash{crashed_at_, site};
 }
 
 }  // namespace fairmatch

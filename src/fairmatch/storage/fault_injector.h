@@ -37,6 +37,25 @@
 
 namespace fairmatch {
 
+/// How a scheduled crash point takes the process down.
+enum class CrashMode {
+  /// Throw InjectedCrash: the stack unwinds out of the durable path and
+  /// a test harness catches it — an in-process kill whose aftermath
+  /// (the files on disk) is exactly what a real crash leaves behind.
+  kThrow,
+  /// raise SIGKILL: the subprocess crash-sweep mode — no unwinding, no
+  /// destructors, the parent observes a genuinely killed child.
+  kKill,
+};
+
+/// Thrown by a CrashMode::kThrow crash point. Deliberately NOT derived
+/// from std::exception: nothing in the engine catches it by accident,
+/// only a harness that asked for the crash.
+struct InjectedCrash {
+  int64_t durable_op = 0;  // the boundary index that died
+  const char* site = "";   // which durable boundary (e.g. "wal append")
+};
+
 /// Fault schedule knobs. All rates are probabilities in [0, 1] applied
 /// independently per physical access; all-zero rates = a disabled plan.
 struct FaultInjectorOptions {
@@ -58,10 +77,20 @@ struct FaultInjectorOptions {
   double spike_rate = 0.0;
   int spike_us = 0;
 
+  /// Crash schedule over the *durable* op stream (real file writes,
+  /// fsyncs and renames on the recovery path, storage/durable_file.h):
+  /// die at the boundary with this 0-based index, -1 = never. A write
+  /// boundary dies torn — a schedule-determined strict prefix of the
+  /// bytes lands before the crash — so the sweep exercises every torn
+  /// tail the format must truncate.
+  int64_t crash_after_durable = -1;
+  CrashMode crash_mode = CrashMode::kThrow;
+
   /// True when any fault can ever fire.
   bool active() const {
     return read_fail_rate > 0.0 || corrupt_rate > 0.0 ||
-           write_fail_rate > 0.0 || spike_rate > 0.0;
+           write_fail_rate > 0.0 || spike_rate > 0.0 ||
+           crash_after_durable >= 0;
   }
 };
 
@@ -71,6 +100,11 @@ struct FaultCounters {
   int64_t corruptions = 0;
   int64_t write_failures = 0;
   int64_t spikes = 0;
+
+  /// Durable-op boundaries observed (writes + syncs + renames on the
+  /// recovery path). Not a fault: a crash sweep counts one uncrashed
+  /// run's boundaries, then schedules a crash at each index in turn.
+  int64_t durable_ops = 0;
 
   /// Result-affecting faults (spikes excluded: they only cost time).
   int64_t injected() const {
@@ -106,6 +140,23 @@ class FaultInjector {
   /// refused.
   Status OnMap(const std::string& path);
 
+  /// One durable *write* boundary of `size` bytes (a real file write on
+  /// the recovery path). Ticks the durable-op counter. Returns false
+  /// normally (write all `size` bytes). Returns true when this boundary
+  /// is the scheduled crash point: the caller must write only
+  /// `*torn_prefix` bytes (a schedule-determined strict prefix,
+  /// possibly 0) and then call Crash() — the torn record is exactly
+  /// what a mid-write power cut leaves.
+  bool OnDurableWrite(size_t size, size_t* torn_prefix);
+
+  /// One durable non-write boundary (fsync, rename). Ticks the
+  /// durable-op counter; true = this is the crash point, call Crash().
+  bool OnDurablePoint();
+
+  /// Dies per options().crash_mode: kThrow throws InjectedCrash{op,
+  /// site}, kKill raises SIGKILL (never returns either way).
+  [[noreturn]] void Crash(const char* site);
+
   const FaultCounters& counters() const { return counters_; }
   const FaultInjectorOptions& options() const { return options_; }
 
@@ -117,6 +168,7 @@ class FaultInjector {
   FaultInjectorOptions options_;
   FaultCounters counters_;
   uint64_t op_ = 0;  // physical-access index; one tick per access
+  int64_t crashed_at_ = -1;  // durable-op index Crash() was armed for
 };
 
 }  // namespace fairmatch

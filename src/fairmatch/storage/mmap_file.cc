@@ -33,6 +33,19 @@ bool InjectedMapFailure(FaultInjector* injector, const std::string& path,
   return true;
 }
 
+#if defined(FAIRMATCH_HAVE_MMAP)
+/// Modification time in nanoseconds (platform-specific stat field).
+uint64_t MtimeNs(const struct stat& st) {
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(st.st_mtimespec.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(st.st_mtimespec.tv_nsec);
+#else
+  return static_cast<uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(st.st_mtim.tv_nsec);
+#endif
+}
+#endif
+
 }  // namespace
 
 bool MmapFile::Map(const std::string& path, std::string* error,
@@ -67,6 +80,7 @@ bool MmapFile::Map(const std::string& path, std::string* error,
   size_ = size;
   mapped_ = true;
   path_ = path;
+  attach_mtime_ns_ = MtimeNs(st);
   return true;
 #else
   // No OS mapping available: the owned-copy path is the only one.
@@ -107,16 +121,42 @@ bool MmapFile::Load(const std::string& path, std::string* error,
   return true;
 }
 
-bool MmapFile::SizeIntact() const {
-  if (!valid() || !mapped_) return valid();
+bool MmapFile::SizeIntact(std::string* detail) const {
+  if (!valid() || !mapped_) {
+    if (!valid()) SetError(detail, "no file attached");
+    return valid();
+  }
 #if defined(FAIRMATCH_HAVE_MMAP)
   struct stat st;
   if (::stat(path_.c_str(), &st) != 0 || st.st_size < 0) {
     // The file vanished out from under the mapping; the pages already
     // resident stay readable, but treat it as no longer intact.
+    SetError(detail, "stat failed for " + path_ +
+                         " (backing file vanished): " + std::strerror(errno));
     return false;
   }
-  return static_cast<size_t>(st.st_size) >= size_;
+  const auto now = static_cast<size_t>(st.st_size);
+  if (now < size_) {
+    SetError(detail, "backing file " + path_ + " shrank to " +
+                         std::to_string(now) + " bytes under a " +
+                         std::to_string(size_) +
+                         "-byte mapping (tail pages would SIGBUS)");
+    return false;
+  }
+  if (now > size_) {
+    SetError(detail, "backing file " + path_ + " grew to " +
+                         std::to_string(now) + " bytes past the attached " +
+                         std::to_string(size_) +
+                         " (external writer mutated the image)");
+    return false;
+  }
+  if (MtimeNs(st) != attach_mtime_ns_) {
+    SetError(detail, "backing file " + path_ +
+                         " was rewritten in place since attach "
+                         "(mtime changed at unchanged size)");
+    return false;
+  }
+  return true;
 #else
   return true;
 #endif
@@ -143,17 +183,32 @@ void MmapFile::Reset() {
 }
 
 bool MmapFile::Write(const std::string& path, const void* bytes, size_t size,
-                     std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+                     std::string* error, bool durable) {
+  // Temp-and-rename: readers of `path` only ever see the previous
+  // complete image or the new complete image, never a torn hybrid.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    SetError(error, "fopen failed for " + path);
+    SetError(error, "fopen failed for " + tmp);
     return false;
   }
-  const bool ok = size == 0 || std::fwrite(bytes, 1, size, f) == size;
+  bool ok = size == 0 || std::fwrite(bytes, 1, size, f) == size;
+  if (ok && durable) {
+    ok = std::fflush(f) == 0;
+#if defined(FAIRMATCH_HAVE_MMAP)
+    if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  }
   const bool closed = std::fclose(f) == 0;
   if (!ok || !closed) {
-    SetError(error, "short write to " + path);
-    std::remove(path.c_str());
+    SetError(error, "short write to " + tmp);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp + " -> " + path + " failed: " +
+                        std::strerror(errno));
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

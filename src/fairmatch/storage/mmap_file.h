@@ -76,16 +76,26 @@ class MmapFile {
   /// Path this range was attached from (empty when not valid()).
   const std::string& path() const { return path_; }
 
-  /// True when the backing file still covers the attached range. Only
-  /// an OS mapping can lose bytes after attach (an owned copy is
-  /// always intact); a false return means dereferencing tail pages
-  /// could SIGBUS and the caller should treat the range as data loss.
-  bool SizeIntact() const;
+  /// True when the backing file is still exactly the one attached. Only
+  /// an OS mapping can change under the range (an owned copy is always
+  /// intact); a false return means the bytes are no longer trustworthy —
+  /// a shrink can SIGBUS on tail pages, a grown or rewritten file means
+  /// some other writer mutated the image — and the caller should treat
+  /// the range as data loss. Checks, in order: the file still stats,
+  /// its size matches the attached size (shrink AND growth both fail),
+  /// and its mtime is unchanged since attach (catches a same-size
+  /// external rewrite). When `detail` is non-null it receives which
+  /// check failed, suitable for a typed status message.
+  bool SizeIntact(std::string* detail = nullptr) const;
 
-  /// Writes `size` bytes to `path` (creating or truncating it). Returns
-  /// false and fills `error` on failure.
+  /// Writes `size` bytes to `path` via a temp file + atomic rename: a
+  /// crash mid-write leaves either the old file or the new one, never a
+  /// torn hybrid. With `durable` the bytes are fsynced before the
+  /// rename (the write-ahead-log discipline; off for scratch images
+  /// where the extra sync is pure cost). Returns false and fills
+  /// `error` on failure.
   static bool Write(const std::string& path, const void* bytes, size_t size,
-                    std::string* error = nullptr);
+                    std::string* error = nullptr, bool durable = false);
 
  private:
   void MoveFrom(MmapFile* other) {
@@ -93,16 +103,21 @@ class MmapFile {
     size_ = other->size_;
     mapped_ = other->mapped_;
     path_ = std::move(other->path_);
+    attach_mtime_ns_ = other->attach_mtime_ns_;
     other->data_ = nullptr;
     other->size_ = 0;
     other->mapped_ = false;
     other->path_.clear();
+    other->attach_mtime_ns_ = 0;
   }
 
   std::byte* data_ = nullptr;
   size_t size_ = 0;
   bool mapped_ = false;
   std::string path_;
+  /// Backing file mtime (ns) at attach time; SizeIntact() re-stats and
+  /// compares to catch same-size external rewrites.
+  uint64_t attach_mtime_ns_ = 0;
 };
 
 }  // namespace fairmatch

@@ -93,6 +93,7 @@ TEST_F(BenchDriverTest, RegistryHasAllBuiltinFigures) {
       "micro_packed_probe",
       "micro_reverse_top1",
       "micro_simd_score",
+      "recovery_time",
       "scale_sweep",
       "serving_latency",
       "update_throughput",

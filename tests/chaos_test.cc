@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "fairmatch/engine/exec_context.h"
+#include "fairmatch/engine/registry.h"
+#include "fairmatch/topk/disk_function_lists.h"
 #include "fairmatch/serve/dataset_registry.h"
 #include "fairmatch/serve/server.h"
 #include "fairmatch/serve/status.h"
@@ -427,6 +429,91 @@ TEST(ChaosRetryTest, SuccessfulRetriesAreByteIdenticalToFaultFreeRuns) {
   EXPECT_GT(retried_successes, 0)
       << "no request recovered via retry; re-seed the plan";
   EXPECT_GT(server.counters().retries, 0);
+}
+
+/// Re-derives one server attempt's fault schedule offline and replays
+/// it in the attempt's exact environment: fresh DiskManager with
+/// checksums on, injector wired before the DiskFunctionStore is built
+/// (its page writes are part of the schedule), the resident tree, the
+/// request's buffer fraction. Returns that attempt's injected() count.
+int64_t ReplayedAttemptFaults(const ResidentDataset& dataset,
+                              const FaultInjectorOptions& base_plan,
+                              const Request& request, uint64_t request_id,
+                              int attempt) {
+  FaultInjectorOptions plan = base_plan;
+  plan.seed = FaultInjector::DeriveSeed(base_plan.seed, request_id,
+                                        static_cast<uint64_t>(attempt));
+  FaultInjector injector(plan);
+  DiskManager disk;
+  ExecContext ctx;
+  disk.set_error_sink(&ctx.errors());
+  disk.set_fault_injector(&injector);
+  disk.set_verify_checksums(true);
+  DiskFunctionStore fstore(dataset.problem().functions,
+                           request.buffer_fraction, &ctx.counters(), &disk);
+  MatcherEnv env;
+  env.problem = &dataset.problem();
+  env.tree = dataset.tree();
+  env.buffer_fraction = request.buffer_fraction;
+  env.ctx = &ctx;
+  env.fn_store = &fstore;
+  auto matcher = MatcherRegistry::Global().Create(request.matcher, env);
+  if (matcher == nullptr) return -1;
+  matcher->Run();
+  return injector.counters().injected();
+}
+
+// Response.injected_faults is documented as the result-affecting fault
+// total "across all attempts". Because every attempt's schedule is the
+// pure function (plan seed, request id, attempt) and every attempt
+// runs in an observably fresh workspace, that total must equal the sum
+// of per-attempt injector counts replayed offline — if the server
+// under- or over-accounted (dropped a failed attempt's counters,
+// double-added a retry), the books would not balance.
+TEST(ChaosAccountingTest, InjectedFaultsEqualThePerAttemptScheduleSum) {
+  const AssignmentProblem problem = SmallProblem(64000);
+  DatasetRegistry registry;
+  registry.Open("ds", problem);
+  ExecContext ctx;
+  const Fingerprint oracle = OfDirect(
+      RunRegisteredMatcher("SB", problem, &ctx,
+                           /*force_disk_functions=*/true));
+
+  ServerOptions options;
+  options.lanes = 2;
+  options.max_attempts = 6;
+  options.fault_plan.seed = 515;
+  options.fault_plan.read_fail_rate = RatePerRun(0.4, oracle);
+  options.fault_plan.corrupt_rate = RatePerRun(0.4, oracle);
+  Server server(&registry, options);
+
+  Request request;
+  request.dataset = "ds";
+  request.matcher = "SB";
+  request.disk_resident_functions = true;
+
+  DatasetHandle handle = registry.Find("ds");
+  ASSERT_NE(handle, nullptr);
+  int multi_attempt = 0;
+  int64_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const Response response = server.Execute(request);
+    ASSERT_GT(response.attempts, 0) << "request " << i << " never ran";
+    int64_t want = 0;
+    for (int attempt = 1; attempt <= response.attempts; ++attempt) {
+      const int64_t replayed = ReplayedAttemptFaults(
+          *handle, options.fault_plan, request, response.request_id, attempt);
+      ASSERT_GE(replayed, 0);
+      want += replayed;
+    }
+    EXPECT_EQ(response.injected_faults, want)
+        << "request " << i << " (" << response.attempts << " attempts)";
+    total += response.injected_faults;
+    if (response.attempts > 1) ++multi_attempt;
+  }
+  EXPECT_GT(multi_attempt, 0)
+      << "no request retried; the accounting claim was not exercised";
+  EXPECT_GT(total, 0);
 }
 
 TEST(ChaosSpikeTest, LatencySpikesNeverAffectResults) {

@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "fairmatch/assign/naive_matcher.h"
+#include "fairmatch/common/status.h"
 #include "fairmatch/engine/registry.h"
+#include "fairmatch/serve/dataset_registry.h"
+#include "fairmatch/update/delta_builder.h"
 #include "fairmatch/topk/disk_function_lists.h"
 #include "fairmatch/topk/packed_function_lists.h"
 #include "test_util.h"
@@ -254,6 +257,50 @@ TEST(EngineInstrumentationTest, DiskRunsReportAggregatedIo) {
     EXPECT_GT(got.stats.io_accesses, 0) << name;
     EXPECT_EQ(got.stats.io_accesses, ctx.counters().io_accesses()) << name;
   }
+}
+
+// Epoch publishes must advance: serving a dataset and then "updating"
+// it to an older (or the same) epoch would silently roll back
+// acknowledged updates for every request that follows. The registry
+// enforces the monotonicity contract both ways — a CHECK-abort on the
+// engine-internal Publish (a caller holding stale handles is a
+// programming error) and a typed kFailedPrecondition through
+// PublishOrError + ErrorSink for the serving/recovery path, where one
+// bad publisher must not take the process down.
+TEST(DatasetRegistryTest, NonMonotonicPublishAbortsAndTypesPrecondition) {
+  ProblemSpec spec;
+  AssignmentProblem problem = RandomProblem(spec);
+  serve::DatasetRegistry registry;
+  serve::DatasetHandle base = registry.Open("epochs", problem, {});
+  ASSERT_NE(base, nullptr);
+
+  update::DeltaBuilder builder(base, {});
+  update::UpdateBatch batch;
+  batch.delete_objects.push_back(0);
+  ASSERT_TRUE(builder.Apply(batch).ok());
+  ASSERT_GT(builder.epoch(), base->epoch());
+  registry.Publish(builder.current());
+
+  // Typed path: re-publishing the superseded epoch (and the live epoch
+  // itself) is rejected without touching what is being served.
+  ErrorSink sink;
+  serve::DatasetHandle replaced;
+  const serve::ServeStatus stale =
+      registry.PublishOrError(base, &replaced, &sink);
+  EXPECT_EQ(stale.code, serve::ServeCode::kFailedPrecondition);
+  EXPECT_NE(stale.message.find("non-monotonic"), std::string::npos)
+      << stale.message;
+  EXPECT_EQ(sink.status().code, ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(replaced, nullptr);
+  const serve::ServeStatus same =
+      registry.PublishOrError(builder.current());
+  EXPECT_EQ(same.code, serve::ServeCode::kFailedPrecondition);
+  serve::DatasetHandle live = registry.Find("epochs");
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->epoch(), builder.epoch());
+
+  // Engine-internal path: the same misuse is a contract violation.
+  EXPECT_DEATH(registry.Publish(base), "non-monotonic");
 }
 
 }  // namespace

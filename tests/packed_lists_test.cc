@@ -20,6 +20,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#endif
+
 #include "fairmatch/assign/naive_matcher.h"
 #include "fairmatch/storage/fault_injector.h"
 #include "fairmatch/storage/mmap_file.h"
@@ -230,7 +235,11 @@ std::vector<unsigned char> ReadAll(const std::string& path) {
 void WriteAll(const std::string& path, const std::vector<unsigned char>& b) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   ASSERT_NE(f, nullptr);
-  ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+  // fwrite's buffer is declared nonnull; an empty vector's data() isn't
+  // (the zero-length-file test writes one).
+  if (!b.empty()) {
+    ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+  }
   std::fclose(f);
 }
 
@@ -362,7 +371,7 @@ TEST(MmapFileTest, ZeroLengthFileIsATypedFailureOnBothPaths) {
   std::remove(path.c_str());
 }
 
-TEST(MmapFileTest, ShrunkBackingFileIsDetectedBeforeDereference) {
+TEST(MmapFileTest, ExternalMutationIsDetectedAndTypedBeforeDereference) {
   const std::string path = ::testing::TempDir() + "/mmap_shrink_test";
   WriteAll(path, std::vector<unsigned char>(8192, 0x2a));
   MmapFile file;
@@ -373,16 +382,53 @@ TEST(MmapFileTest, ShrunkBackingFileIsDetectedBeforeDereference) {
   if (file.mapped()) {
     // Another process truncates the file behind the mapping: touching
     // tail pages would SIGBUS, so the re-stat must flag the range
-    // BEFORE anyone dereferences it.
+    // BEFORE anyone dereferences it — and say which check tripped.
     WriteAll(path, std::vector<unsigned char>(16, 0x2a));
-    EXPECT_FALSE(file.SizeIntact());
-    // Growing it back past the attached range makes it safe again.
+    std::string detail;
+    EXPECT_FALSE(file.SizeIntact(&detail));
+    EXPECT_NE(detail.find("shrank"), std::string::npos) << detail;
+    // Growing past the attached range no longer SIGBUSes, but an
+    // external writer rewrote the image: the mapping's content can no
+    // longer be trusted to be what was validated at attach.
     WriteAll(path, std::vector<unsigned char>(9000, 0x2a));
-    EXPECT_TRUE(file.SizeIntact());
+    detail.clear();
+    EXPECT_FALSE(file.SizeIntact(&detail));
+    EXPECT_NE(detail.find("grew"), std::string::npos) << detail;
     // A vanished file cannot be trusted either.
     std::remove(path.c_str());
-    EXPECT_FALSE(file.SizeIntact());
+    detail.clear();
+    EXPECT_FALSE(file.SizeIntact(&detail));
+    EXPECT_NE(detail.find("vanished"), std::string::npos) << detail;
   }
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, InPlaceRewriteAtSameSizeIsDetectedViaMtime) {
+  const std::string path = ::testing::TempDir() + "/mmap_mtime_test";
+  WriteAll(path, std::vector<unsigned char>(4096, 0x11));
+  MmapFile file;
+  std::string error;
+  ASSERT_TRUE(file.Map(path, &error)) << error;
+  if (!file.mapped()) {
+    std::remove(path.c_str());
+    GTEST_SKIP() << "no OS mapping on this platform";
+  }
+  EXPECT_TRUE(file.SizeIntact());
+#if defined(__unix__) || defined(__APPLE__)
+  // Same byte count, different content: only the timestamp betrays the
+  // rewrite. Push mtime well away from the attach stamp rather than
+  // racing the filesystem's timestamp granularity.
+  WriteAll(path, std::vector<unsigned char>(4096, 0x77));
+  struct timespec times[2];
+  times[0].tv_sec = 1;  // atime
+  times[0].tv_nsec = 0;
+  times[1].tv_sec = 1;  // mtime: far in the past != attach stamp
+  times[1].tv_nsec = 0;
+  ASSERT_EQ(utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+  std::string detail;
+  EXPECT_FALSE(file.SizeIntact(&detail));
+  EXPECT_NE(detail.find("rewritten in place"), std::string::npos) << detail;
+#endif
   std::remove(path.c_str());
 }
 
